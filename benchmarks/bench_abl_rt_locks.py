@@ -1,0 +1,45 @@
+"""A3 — ablation: the locking policies on *real* threads.
+
+The same coarse/fine/no-locking comparison as Figure 3, but live: Python
+threads, real locks, an in-process loopback link (see :mod:`repro.rt`).
+GIL-bound absolute numbers, but the lock-path cost ordering is genuinely
+measured on the host.
+"""
+
+import statistics
+
+from repro.rt import rt_lock_overhead_ns, rt_pingpong
+
+
+def test_rt_lock_path_costs(benchmark):
+    overheads = benchmark.pedantic(
+        lambda: {
+            policy: rt_lock_overhead_ns(policy, cycles=20_000)
+            for policy in ("none", "coarse", "fine")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nA3 live lock-path traversal cost (host, ns):")
+    for policy, cost in overheads.items():
+        print(f"  {policy:7s} {cost:8.1f}")
+        benchmark.extra_info[policy] = round(cost, 1)
+    assert overheads["none"] < overheads["coarse"]
+    assert overheads["none"] < overheads["fine"]
+
+
+def test_rt_pingpong_latencies(benchmark):
+    def measure():
+        return {
+            policy: statistics.median(rt_pingpong(policy, iterations=120, warmup=20))
+            for policy in ("none", "coarse", "fine")
+        }
+
+    medians = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nA3 live pingpong median RTT (host, us):")
+    for policy, rtt in medians.items():
+        print(f"  {policy:7s} {rtt / 1000:8.1f}")
+        benchmark.extra_info[policy] = round(rtt / 1000, 1)
+    # messages flowed under every policy; wall-clock ordering left
+    # unasserted (host-dependent noise)
+    assert all(rtt > 0 for rtt in medians.values())

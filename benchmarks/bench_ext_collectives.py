@@ -1,0 +1,32 @@
+"""EXT-2 — extension: Mad-MPI collective scaling.
+
+The paper's future-work direction is running "real applications that mix
+multi-threading and message passing" over the stack; this measures the
+collective building blocks vs. communicator size.
+Expected shapes: log-round algorithms (barrier/bcast/allreduce) grow
+mildly with p; the ring allgather grows linearly.
+"""
+
+from repro.bench.collectives import run_collective_scaling
+from repro.bench.report import figure_table
+
+
+def test_collective_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_collective_scaling((2, 3, 4, 6)), rounds=1, iterations=1
+    )
+    print()
+    print(
+        figure_table(
+            results, title="Collective time vs. communicator size (us, fine locking)"
+        )
+    )
+    for name in results.configs():
+        series = dict(results.series(name))
+        benchmark.extra_info[name] = {str(n): round(v, 2) for n, v in series.items()}
+        # more ranks never get cheaper
+        assert series[2] < series[6], f"{name} does not grow with p"
+    # the ring allgather (p-1 rounds) outgrows the log-round barrier
+    barrier = dict(results.series("barrier"))
+    allgather = dict(results.series("allgather"))
+    assert allgather[6] / allgather[2] > barrier[6] / barrier[2]

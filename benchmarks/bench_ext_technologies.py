@@ -1,0 +1,41 @@
+"""EXT-1 — extension: the same stack over MX, InfiniBand and TCP.
+
+The paper ran on MX and "obtained similar results with Infiniband" (§2),
+and notes TCP-only implementations "perform badly for small messages"
+(§5).  This sweep verifies both on the simulated stack, and shows that the
+host-side locking overhead is network-independent in absolute terms —
+hence *relatively* negligible on TCP.
+"""
+
+from repro.bench.config import BenchConfig
+from repro.bench.report import figure_table
+from repro.bench.technologies import locking_impact_by_technology, run_technology_sweep
+
+
+def test_technology_comparison(benchmark):
+    cfg = BenchConfig(iterations=16, warmup=4, sizes=(1, 64, 1024, 32 * 1024))
+
+    def measure():
+        return run_technology_sweep(cfg), locking_impact_by_technology(cfg)
+
+    results, impact = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print(figure_table(results, title="Pingpong latency by technology (us)"))
+    print("\nRelative impact of coarse locking at 8 B:")
+    for tech, frac in impact.items():
+        print(f"  {tech:4s} {frac * 100:6.2f} %")
+        benchmark.extra_info[f"lock_impact_{tech}"] = round(frac, 4)
+
+    for size in results.sizes():
+        mx = results.point("mx", size)
+        ib = results.point("ib", size)
+        tcp = results.point("tcp", size)
+        # "similar results with Infiniband": same order of magnitude, IB a
+        # touch faster; TCP far behind at small sizes
+        assert ib < mx
+        assert mx < ib * 1.6
+        if size <= 1024:
+            assert tcp > 4 * mx, f"TCP should be far slower at {size} B"
+    # locking hurts (relatively) most where the base latency is lowest
+    assert impact["ib"] >= impact["tcp"]
+    assert impact["mx"] >= impact["tcp"]

@@ -1,0 +1,17 @@
+"""E1 — Figure 3: impact of locking on latency.
+
+Workload: single-threaded pingpong, 1 B – 2 KB, over simulated Myri-10G.
+Series: no locking / coarse-grain / fine-grain.
+Paper shape: constant offsets of +140 ns (coarse) and +230 ns (fine),
+independent of message size.
+"""
+
+
+def test_fig3_locking_overheads(figure_runner):
+    results = figure_runner("fig3")
+    # the visual ordering of the three curves
+    for size in results.sizes():
+        none = results.point("none", size)
+        coarse = results.point("coarse", size)
+        fine = results.point("fine", size)
+        assert none < coarse < fine, f"ordering broken at {size} B"

@@ -1,0 +1,25 @@
+"""E2 — Figure 5: two threads perform pingpongs concurrently.
+
+Workload: per-core thread pairs running independent tagged pingpongs over
+one shared NIC, coarse vs. fine locking, plus the 1-thread baseline.
+Paper shape: concurrent latency roughly twice the single-thread latency
+under coarse locking; fine-grain clearly better.
+
+The simulated MX path has about twice the per-message capacity of the
+2009 stack, so the paper's two-thread saturation appears at four flows
+(both flow counts are reported; claims are evaluated at saturation — see
+EXPERIMENTS.md).
+"""
+
+from repro.bench.locking import FIG5_SATURATION_FLOWS
+
+
+def test_fig5_concurrent_pingpongs(figure_runner):
+    results = figure_runner("fig5")
+    sat = FIG5_SATURATION_FLOWS
+    for size in results.sizes():
+        single = results.point("1 thread", size)
+        coarse = results.point(f"coarse ({sat} threads)", size)
+        fine = results.point(f"fine ({sat} threads)", size)
+        assert coarse > single, f"no concurrency penalty at {size} B"
+        assert fine < coarse, f"fine-grain not better at {size} B"

@@ -1,0 +1,15 @@
+"""E3 — Figure 6: impact of PIOMan on latency.
+
+Workload: single-threaded pingpong where nm_wait polls either the library
+directly or through PIOMan's request lists, under coarse and fine locking.
+Paper shape: PIOMan's management adds a constant ~200 ns.
+"""
+
+
+def test_fig6_pioman_overhead(figure_runner):
+    results = figure_runner("fig6")
+    for policy in ("coarse", "fine"):
+        for size in results.sizes():
+            direct = results.point(policy, size)
+            pioman = results.point(f"pioman ({policy})", size)
+            assert pioman > direct, f"PIOMan free at {size} B under {policy}?"

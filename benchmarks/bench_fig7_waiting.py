@@ -1,0 +1,16 @@
+"""E4 — Figure 7: impact of semaphores (busy vs. passive waiting).
+
+Workload: single-threaded pingpong; nm_wait either keeps polling through
+PIOMan (active) or blocks on a semaphore while PIOMan polls from the
+scheduler's idle hook (passive).
+Paper shape: the context switches of passive waiting cost ~750 ns.
+"""
+
+
+def test_fig7_passive_waiting(figure_runner):
+    results = figure_runner("fig7")
+    for policy in ("coarse", "fine"):
+        for size in results.sizes():
+            active = results.point(f"active ({policy})", size)
+            passive = results.point(f"passive ({policy})", size)
+            assert passive > active, f"passive free at {size} B under {policy}?"

@@ -1,0 +1,21 @@
+"""E5 — Figure 8: impact of cache affinity on a quad-core chip.
+
+Workload: pingpong with the application thread bound to CPU 0 and all
+polling delegated to CPU {0,1,2,3} (PIOMan idle hooks restricted to one
+core; the app spins on the completion flag).
+Paper shape: polling on the shared-L2 sibling (CPU 1) costs +400 ns;
+polling across caches (CPU 2/3) costs +1.2 us; CPUs 2 and 3 equivalent.
+"""
+
+import pytest
+
+
+def test_fig8_cache_affinity(figure_runner):
+    results = figure_runner("fig8")
+    for size in results.sizes():
+        cpu0 = results.point("polling on cpu 0", size)
+        cpu1 = results.point("polling on cpu 1", size)
+        cpu2 = results.point("polling on cpu 2", size)
+        cpu3 = results.point("polling on cpu 3", size)
+        assert cpu0 < cpu1 < cpu2, f"tier ordering broken at {size} B"
+        assert cpu2 == pytest.approx(cpu3, rel=0.1), f"cpu2 != cpu3 at {size} B"

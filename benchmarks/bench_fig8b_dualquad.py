@@ -1,0 +1,16 @@
+"""E5b — §4.1 in-text: cache affinity on the dual quad-core node.
+
+Workload: as Figure 8, on the 8-core two-chip machine.
+Paper shape: +400 ns shared cache (CPU 1), +2.3 us same chip / separate
+cache (CPU 2-3), +3.1 us other chip (CPU 4-7).
+"""
+
+
+def test_fig8b_dual_quad_affinity(figure_runner):
+    results = figure_runner("fig8b")
+    for size in results.sizes():
+        base = results.point("polling on cpu 0", size)
+        shared = results.point("polling on cpu 1", size)
+        chip = results.point("polling on cpu 2", size)
+        other = results.point("polling on cpu 4", size)
+        assert base < shared < chip < other, f"tier ordering broken at {size} B"

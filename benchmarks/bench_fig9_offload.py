@@ -1,0 +1,17 @@
+"""E6 — Figure 9: impact of tasklets on deferred message submission.
+
+Workload: non-blocking pingpong with a 10 us compute phase between
+nm_isend and nm_wait, 2 KB – 32 KB, with background progression on the
+shared-L2 core.  Series: inline submission (reference) / idle-core
+offload ("without tasklets") / tasklet offload.
+Paper shape: tasklets add ~2 us; plain idle-core offload ~400 ns.
+"""
+
+
+def test_fig9_offloaded_submission(figure_runner):
+    results = figure_runner("fig9")
+    for size in results.sizes():
+        ref = results.point("reference", size)
+        idle = results.point("no tasklets", size)
+        tasklets = results.point("tasklets", size)
+        assert ref < idle < tasklets, f"offload ordering broken at {size} B"

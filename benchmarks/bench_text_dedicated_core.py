@@ -1,0 +1,13 @@
+"""E8 — §3.3 in-text: cost of dedicating a core to communication.
+
+Workload: four compute threads on a quad-core node, with and without one
+core reserved for a polling loop.
+Paper shape: "on a 4-core machine, dedicating one core to communication
+leads to up to 25 % decrease of the computation power".
+"""
+
+
+def test_dedicated_core_compute_loss(figure_runner):
+    results = figure_runner("dedicated-core")
+    loss = results.point("throughput loss", 0)
+    assert 0.17 <= loss <= 0.33

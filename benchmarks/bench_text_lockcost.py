@@ -1,0 +1,16 @@
+"""E7 — §3.1 in-text: the spinlock cycle and per-message lock traffic.
+
+Microbenchmarks: one uncontended acquire/release cycle (paper: 70 ns) and
+the number of lock acquisitions per message under each policy (paper:
+coarse holds the lock twice per message).
+"""
+
+
+def test_lock_cycle_and_traffic(figure_runner):
+    results = figure_runner("lockcost")
+    cycles = {r.config: r.latency_us for r in results}
+    assert cycles["cycles/msg (none)"] == 0
+    # coarse: 2 acquisitions per message (paper's accounting)
+    assert 1.5 <= cycles["cycles/msg (coarse)"] <= 2.5
+    # fine: 3 lock points per message
+    assert 2.5 <= cycles["cycles/msg (fine)"] <= 3.5

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Hybrid MPI + threads: a 1-D heat-equation stencil.
+
+The paper's introduction motivates thread-safe communication libraries
+with exactly this kind of application: "hybrid solutions that mix the use
+of threads and MPI processes seem to be the best candidate".  This example
+solves du/dt = alpha * d2u/dx2 with:
+
+* **domain decomposition** across 4 simulated nodes (Mad-MPI ranks);
+* **multi-threaded compute** inside each rank: the rank's subdomain is
+  split across the node's 4 cores;
+* **halo exchange** performed concurrently by two communication threads
+  per rank — one per neighbour — which is only legal with
+  ``MPI_THREAD_MULTIPLE``, the thread level §3 of the paper is about.
+
+The numerical result is verified against a single-threaded reference
+solve, and the run is timed under coarse-grain vs. fine-grain locking.
+
+Run:  python examples/hybrid_stencil.py
+"""
+
+import numpy as np
+
+from repro.core import build_testbed
+from repro.madmpi import ThreadLevel, create_world
+from repro.sim.process import Delay
+from repro.sim.sync import Semaphore
+
+POINTS_PER_RANK = 256
+RANKS = 4
+STEPS = 20
+ALPHA = 0.4  # dt*alpha/dx^2, stable for the explicit scheme
+#: simulated cost of one stencil update of one subdomain slice
+COMPUTE_NS_PER_SLICE = 2_000
+
+
+def reference_solution(u0: np.ndarray, steps: int) -> np.ndarray:
+    """Single-threaded explicit Euler with fixed boundaries."""
+    u = u0.copy()
+    for _ in range(steps):
+        nxt = u.copy()
+        nxt[1:-1] = u[1:-1] + ALPHA * (u[2:] - 2 * u[1:-1] + u[:-2])
+        u = nxt
+    return u
+
+
+def initial_field() -> np.ndarray:
+    x = np.linspace(0.0, 1.0, POINTS_PER_RANK * RANKS)
+    return np.exp(-100.0 * (x - 0.5) ** 2)
+
+
+def rank_program(comm, full_u0: np.ndarray, result_box: dict):
+    """One rank: compute threads + concurrent halo-exchange threads."""
+    rank, size = comm.rank, comm.size
+    lo = rank * POINTS_PER_RANK
+    u = full_u0[lo : lo + POINTS_PER_RANK].copy()
+    machine = comm.lib.machine
+    ncores = machine.ncores
+
+    for step in range(STEPS):
+        # ---- halo exchange: one thread per neighbour, concurrently ----
+        halos = {"left": None, "right": None}
+        done_sem = Semaphore(machine, 0, name=f"halo{rank}s{step}")
+        tag = 1000 + step
+
+        def exchange(direction: str, neighbour: int, boundary: float):
+            try:
+                value, _ = yield from comm.Sendrecv(
+                    neighbour, 8, neighbour, 8, sendtag=tag, recvtag=tag,
+                    payload=boundary,
+                )
+                halos[direction] = value
+            finally:
+                done_sem.post()
+
+        nthreads = 0
+        if rank > 0:
+            machine.scheduler.spawn(
+                exchange("left", rank - 1, float(u[0])),
+                name=f"halo-left-{rank}-{step}",
+                core=1 % ncores,
+                bound=True,
+            )
+            nthreads += 1
+        if rank < size - 1:
+            machine.scheduler.spawn(
+                exchange("right", rank + 1, float(u[-1])),
+                name=f"halo-right-{rank}-{step}",
+                core=2 % ncores,
+                bound=True,
+            )
+            nthreads += 1
+        for _ in range(nthreads):
+            yield from done_sem.wait()
+
+        left = halos["left"] if halos["left"] is not None else u[0]
+        right = halos["right"] if halos["right"] is not None else u[-1]
+
+        # ---- multi-threaded compute: slices across the node's cores ----
+        padded = np.concatenate(([left], u, [right]))
+        nxt = u + ALPHA * (padded[2:] - 2 * u + padded[:-2])
+        # fixed global boundaries
+        if rank == 0:
+            nxt[0] = u[0]
+        if rank == size - 1:
+            nxt[-1] = u[-1]
+
+        compute_sem = Semaphore(machine, 0, name=f"comp{rank}s{step}")
+        slices = ncores
+
+        def compute_slice():
+            yield Delay(COMPUTE_NS_PER_SLICE, "compute")
+            compute_sem.post()
+
+        for c in range(slices):
+            machine.scheduler.spawn(
+                compute_slice(), name=f"slice{rank}-{step}-{c}", core=c, bound=True
+            )
+        for _ in range(slices):
+            yield from compute_sem.wait()
+        u = nxt
+
+    result_box[rank] = u
+    # gather for verification
+    gathered = yield from comm.Gather(u, root=0)
+    if rank == 0:
+        result_box["global"] = np.concatenate(gathered)
+
+
+def run(policy: str) -> tuple[np.ndarray, float]:
+    bed = build_testbed(nodes=RANKS, policy=policy)
+    comms = create_world(bed, thread_level=ThreadLevel.MULTIPLE)
+    u0 = initial_field()
+    results: dict = {}
+    threads = [
+        bed.machine(c.rank).scheduler.spawn(
+            rank_program(c, u0, results), name=f"rank{c.rank}", core=0, bound=True
+        )
+        for c in comms
+    ]
+    bed.run(until=lambda: all(t.done for t in threads))
+    elapsed_us = bed.engine.now / 1000
+    return results["global"], elapsed_us
+
+
+def main() -> None:
+    u0 = initial_field()
+    expect = reference_solution(u0, STEPS)
+    print(f"1-D heat equation: {RANKS} ranks x {POINTS_PER_RANK} points, {STEPS} steps")
+    print(f"hybrid setup: {RANKS} nodes, 4 cores each, MPI_THREAD_MULTIPLE\n")
+
+    for policy in ("coarse", "fine"):
+        field, elapsed_us = run(policy)
+        err = float(np.max(np.abs(field - expect)))
+        ok = "OK " if err < 1e-9 else "BAD"
+        print(
+            f"[{ok}] {policy:6s} locking: simulated time {elapsed_us:9.1f} us, "
+            f"max error vs serial reference {err:.2e}"
+        )
+    print(
+        "\nBoth policies compute identical physics; fine-grain locking lets the\n"
+        "two halo threads of each rank drive the library concurrently (§3.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

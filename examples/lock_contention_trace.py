@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Profiling lock contention with the execution tracer.
+
+"We have extensively profiled the code" (§1) — this example shows the
+reproduction's equivalent instrument.  It runs the Figure 5 workload
+(four concurrent pingpong flows) under coarse and fine locking with a
+:class:`~repro.sim.trace.Tracer` attached, and reports where the time
+went: how often threads spun on the library's locks, for how long, and
+what fraction of each core's busy time that wasted.
+
+Run:  python examples/lock_contention_trace.py
+"""
+
+from repro.bench.pingpong import run_concurrent_pingpong
+from repro.core import build_testbed
+from repro.sim.trace import Tracer
+from repro.util.tables import render_table
+from repro.util.units import format_ns
+
+FLOWS = 4
+SIZE = 64
+ITERATIONS = 24
+
+
+def profile(policy: str):
+    bed = build_testbed(policy=policy, jitter_ns=120)
+    tracer = Tracer()
+    bed.machine(0).attach_tracer(tracer)
+    flows = run_concurrent_pingpong(
+        bed, SIZE, nflows=FLOWS, iterations=ITERATIONS, warmup=4
+    )
+    latency = sum(f.latency_us for f in flows) / len(flows)
+    machine = bed.machine(0)
+    spin_ns = sum(core.busy_ns("spin") for core in machine.cores)
+    busy_ns = sum(core.busy_ns() for core in machine.cores)
+    contentions = sum(
+        lock.contentions for lib in bed.libs for lock in lib.policy.lock_objects()
+    )
+    acquisitions = sum(
+        lock.acquisitions for lib in bed.libs for lock in lib.policy.lock_objects()
+    )
+    episodes = tracer.spin_episodes()
+    return {
+        "latency_us": latency,
+        "spin_share": spin_ns / busy_ns if busy_ns else 0.0,
+        "contentions": contentions,
+        "acquisitions": acquisitions,
+        "episodes": len(episodes),
+        "longest_spin": max((d for _, _, d in episodes), default=0),
+    }
+
+
+def main() -> None:
+    print(
+        f"Profiling {FLOWS} concurrent pingpong flows ({SIZE} B) under each "
+        f"locking policy...\n"
+    )
+    rows = []
+    profiles = {}
+    for policy in ("coarse", "fine"):
+        p = profile(policy)
+        profiles[policy] = p
+        rows.append(
+            [
+                policy,
+                p["latency_us"],
+                f"{p['spin_share'] * 100:.1f} %",
+                p["contentions"],
+                p["acquisitions"],
+                format_ns(p["longest_spin"]),
+            ]
+        )
+    print(
+        render_table(
+            ["policy", "latency (us)", "time spinning", "contended", "acquisitions",
+             "longest spin"],
+            rows,
+            title="Node A under concurrent load (tracer + lock instrumentation)",
+        )
+    )
+    coarse, fine = profiles["coarse"], profiles["fine"]
+    print(
+        f"\nUnder the global lock the threads spent "
+        f"{coarse['spin_share'] * 100:.0f} % of their cycles spinning "
+        f"({coarse['contentions']} contended acquisitions); fine-grain locking "
+        f"cuts that to {fine['spin_share'] * 100:.0f} % and the per-flow "
+        f"latency from {coarse['latency_us']:.2f} to {fine['latency_us']:.2f} us "
+        f"— the Figure 5 effect, seen from inside the scheduler."
+    )
+
+
+if __name__ == "__main__":
+    main()

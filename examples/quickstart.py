@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: a pingpong over the simulated NewMadeleine stack.
+
+Builds the paper's two-node testbed (quad-core Xeon X5460 machines wired
+with Myri-10G/MX), runs a latency pingpong under each locking policy, and
+prints the Figure 3 comparison: no locking vs. coarse-grain (+140 ns) vs.
+fine-grain (+230 ns).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench.pingpong import run_pingpong
+from repro.core import build_testbed
+from repro.util.tables import render_table
+from repro.util.units import format_size
+
+
+def measure(policy: str, size: int) -> float:
+    """One (policy, size) latency point in microseconds."""
+    bed = build_testbed(policy=policy, jitter_ns=150)
+    result = run_pingpong(bed, size, iterations=32, warmup=4)
+    return result.latency_us
+
+
+def main() -> None:
+    sizes = [1, 8, 64, 512, 2048]
+    policies = ["none", "coarse", "fine"]
+
+    print("Measuring pingpong latency on the simulated MX testbed...")
+    rows = []
+    for size in sizes:
+        row = [format_size(size)]
+        for policy in policies:
+            row.append(measure(policy, size))
+        rows.append(row)
+
+    print()
+    print(
+        render_table(
+            ["size"] + policies,
+            rows,
+            title="Pingpong latency by locking policy (us, half round trip)",
+        )
+    )
+    print()
+
+    base = rows[0][1]
+    coarse_overhead = (rows[0][2] - base) * 1000
+    fine_overhead = (rows[0][3] - base) * 1000
+    print(f"coarse-grain locking overhead at 1 B: {coarse_overhead:.0f} ns (paper: 140 ns)")
+    print(f"fine-grain   locking overhead at 1 B: {fine_overhead:.0f} ns (paper: 230 ns)")
+    print()
+    print("Next steps:")
+    print("  python -m repro.bench.figures fig3     # full Figure 3 sweep")
+    print("  python -m repro.bench.figures all      # every figure of the paper")
+    print("  python examples/hybrid_stencil.py      # hybrid MPI+threads application")
+    print("  python examples/overlap_pipeline.py    # communication/computation overlap")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Benchmark harness: one regenerator per paper figure/table.
+
+``python -m repro.bench.figures <fig>`` reprints any figure's data with
+paper-claim verdicts; the ``benchmarks/`` directory wires the same
+functions into pytest-benchmark.
+"""
+
+from repro.bench.config import OVERLAP_SIZES, PAPER_SIZES, BenchConfig
+from repro.bench.overlap import (
+    DEFAULT_COMPUTE_NS,
+    OFFLOAD_MODES,
+    build_overlap_bed,
+    make_offload,
+    run_overlap,
+)
+from repro.bench.pingpong import (
+    PingPongResult,
+    ping_thread,
+    pong_thread,
+    run_concurrent_pingpong,
+    run_pingpong,
+)
+from repro.bench.runner import run_sweep
+
+__all__ = [
+    "OVERLAP_SIZES",
+    "PAPER_SIZES",
+    "BenchConfig",
+    "DEFAULT_COMPUTE_NS",
+    "OFFLOAD_MODES",
+    "build_overlap_bed",
+    "make_offload",
+    "run_overlap",
+    "PingPongResult",
+    "ping_thread",
+    "pong_thread",
+    "run_concurrent_pingpong",
+    "run_pingpong",
+    "run_sweep",
+]

@@ -1,0 +1,77 @@
+"""Overlap / offloaded-submission workloads (paper §4.2, Fig. 9).
+
+The instrument: "a pingpong using non-blocking communication primitives.
+A 10 µs computing phase is inserted between the message submission
+(nm_isend) and the message waiting (nm_wait)".  Three configurations
+differ in *who* submits the message to the network:
+
+* ``inline`` — the reference: the application thread submits;
+* ``idle-core`` — idle cores pick the submission up via PIOMan hooks
+  (+ one cache crossing, ~400 ns);
+* ``tasklet`` — a tasklet on a target core runs the submission
+  (+ the tasklet protocol, ~2 µs total).
+"""
+
+from __future__ import annotations
+
+from repro.bench.pingpong import PingPongResult, run_pingpong
+from repro.core.session import TestBed, build_testbed
+from repro.core.waiting import BusyWait
+from repro.pioman.integration import attach_pioman
+from repro.pioman.offload import (
+    IdleCoreSubmit,
+    InlineSubmit,
+    SubmitOffload,
+    TaskletSubmit,
+    set_offload,
+)
+
+OFFLOAD_MODES = ("inline", "idle-core", "tasklet")
+
+#: the paper's inserted computing phase
+DEFAULT_COMPUTE_NS = 10_000
+
+
+def make_offload(mode: str, *, target_core: int = 1) -> SubmitOffload:
+    if mode == "inline":
+        return InlineSubmit()
+    if mode == "idle-core":
+        return IdleCoreSubmit()
+    if mode == "tasklet":
+        return TaskletSubmit(target_core=target_core)
+    raise ValueError(f"unknown offload mode {mode!r}; choose from {OFFLOAD_MODES}")
+
+
+def build_overlap_bed(
+    mode: str,
+    *,
+    policy: str = "fine",
+    poll_core: int = 1,
+    **testbed_kw,
+) -> TestBed:
+    """Two-node testbed with PIOMan polling on ``poll_core`` (the shared-L2
+    sibling of the application's CPU 0) and the chosen submission offload."""
+    bed = build_testbed(policy=policy, **testbed_kw)
+    for node in (0, 1):
+        attach_pioman(bed.machine(node), [bed.lib(node)], poll_cores=[poll_core])
+        set_offload(bed.lib(node), make_offload(mode, target_core=poll_core))
+    return bed
+
+
+def run_overlap(
+    bed: TestBed,
+    size: int,
+    *,
+    compute_ns: int = DEFAULT_COMPUTE_NS,
+    iterations: int = 16,
+    warmup: int = 4,
+) -> PingPongResult:
+    """The Fig. 9 measurement on an existing testbed."""
+    return run_pingpong(
+        bed,
+        size,
+        iterations=iterations,
+        warmup=warmup,
+        wait_factory=BusyWait,
+        compute_ns=compute_ns,
+    )

@@ -1,0 +1,183 @@
+"""The paper's reported numbers, as machine-checkable claims.
+
+Every measured artefact of the paper is captured here as a
+:class:`PaperClaim`; the benchmark harness evaluates each claim against
+fresh measurements and EXPERIMENTS.md records the outcome.  Tolerances are
+generous on purpose: the goal is *shape* agreement (who wins, by roughly
+what factor) on a simulated substrate, not nanosecond identity with 2009
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One quantitative statement from the paper."""
+
+    claim_id: str
+    experiment: str  # figure / section reference
+    description: str
+    #: expected value (ns for offsets, dimensionless for ratios/fractions)
+    expected: float
+    #: acceptable absolute deviation
+    tolerance: float
+    unit: str = "ns"
+
+    def check(self, measured: float) -> bool:
+        return abs(measured - self.expected) <= self.tolerance
+
+    def verdict(self, measured: float) -> str:
+        status = "OK " if self.check(measured) else "OFF"
+        return (
+            f"[{status}] {self.claim_id}: expected {self.expected:g} {self.unit} "
+            f"(±{self.tolerance:g}), measured {measured:g} {self.unit} — "
+            f"{self.description}"
+        )
+
+
+CLAIMS: dict[str, PaperClaim] = {
+    claim.claim_id: claim
+    for claim in [
+        PaperClaim(
+            "fig3-coarse-offset",
+            "Figure 3 / §3.1",
+            "coarse-grain locking adds a constant 140 ns to latency",
+            expected=140,
+            tolerance=60,
+        ),
+        PaperClaim(
+            "fig3-fine-offset",
+            "Figure 3 / §3.2",
+            "fine-grain locking adds a constant 230 ns to latency",
+            expected=230,
+            tolerance=80,
+        ),
+        PaperClaim(
+            "fig3-offset-flat",
+            "Figure 3",
+            "locking overhead does not grow with message size (spread of the "
+            "per-size offset, should stay within a poll quantum)",
+            expected=0,
+            tolerance=120,
+        ),
+        PaperClaim(
+            "fig5-coarse-ratio",
+            "Figure 5 / §3.1",
+            "two concurrent pingpongs under coarse locking: per-thread latency "
+            "roughly twice the single-thread latency",
+            expected=2.0,
+            tolerance=0.6,
+            unit="x",
+        ),
+        PaperClaim(
+            "fig5-fine-better",
+            "Figure 5 / §3.2",
+            "fine-grain locking performs better than coarse-grain for "
+            "concurrent flows (ratio fine/coarse < 1)",
+            expected=0.75,
+            tolerance=0.25,
+            unit="x",
+        ),
+        PaperClaim(
+            "fig6-pioman-offset",
+            "Figure 6 / §3.3",
+            "routing the polling through PIOMan costs ~200 ns of list "
+            "management",
+            expected=200,
+            tolerance=150,
+        ),
+        PaperClaim(
+            "fig7-passive-offset",
+            "Figure 7 / §3.3",
+            "semaphore-based passive waiting costs ~750 ns of context switches",
+            expected=750,
+            tolerance=400,
+        ),
+        PaperClaim(
+            "fig8-shared-l2",
+            "Figure 8 / §4.1",
+            "polling on the shared-L2 sibling (CPU 1) costs +400 ns",
+            expected=400,
+            tolerance=250,
+        ),
+        PaperClaim(
+            "fig8-no-shared-cache",
+            "Figure 8 / §4.1",
+            "polling on a core with no shared cache (CPU 2/3) costs +1.2 us",
+            expected=1_200,
+            tolerance=450,
+        ),
+        PaperClaim(
+            "fig8b-shared-l2",
+            "§4.1 (dual quad-core)",
+            "dual quad-core: polling on the shared-cache sibling costs +400 ns",
+            expected=400,
+            tolerance=250,
+        ),
+        PaperClaim(
+            "fig8b-same-chip",
+            "§4.1 (dual quad-core)",
+            "dual quad-core: polling on the same chip, different cache: +2.3 us",
+            expected=2_300,
+            tolerance=700,
+        ),
+        PaperClaim(
+            "fig8b-other-chip",
+            "§4.1 (dual quad-core)",
+            "dual quad-core: polling on the other chip: +3.1 us",
+            expected=3_100,
+            tolerance=800,
+        ),
+        PaperClaim(
+            "fig9-tasklet-offset",
+            "Figure 9 / §4.2",
+            "offloading submission with tasklets adds ~2 us",
+            expected=2_000,
+            tolerance=1_200,
+        ),
+        PaperClaim(
+            "fig9-idlecore-offset",
+            "Figure 9 / §4.2",
+            "offloading submission to an idle core (no tasklets) adds ~400 ns",
+            expected=400,
+            tolerance=400,
+        ),
+        PaperClaim(
+            "text-spin-cycle",
+            "§3.1",
+            "one spinlock acquire/release cycle costs 70 ns",
+            expected=70,
+            tolerance=10,
+        ),
+        PaperClaim(
+            "text-dedicated-core",
+            "§3.3",
+            "dedicating one core in four to communication cuts compute "
+            "throughput by up to 25 %",
+            expected=0.25,
+            tolerance=0.08,
+            unit="fraction",
+        ),
+        PaperClaim(
+            "text-fixed-spin",
+            "§3.3",
+            "fixed-spin waiting avoids the context switch whenever the event "
+            "arrives within the spin window: a covering spin window saves "
+            "roughly the 750 ns switch round trip over pure blocking",
+            expected=-750,
+            tolerance=500,
+        ),
+    ]
+}
+
+
+def claim(claim_id: str) -> PaperClaim:
+    try:
+        return CLAIMS[claim_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown claim {claim_id!r}; known: {sorted(CLAIMS)}"
+        ) from None

@@ -1,0 +1,220 @@
+"""Pingpong workload drivers.
+
+The paper's measurement instrument is always a pingpong: single-threaded
+(Fig. 3, 6, 7), concurrent with two thread pairs (Fig. 5), with bound
+threads and delegated polling (Fig. 8), or with an inserted compute phase
+(Fig. 9).  This module provides those drivers over a
+:class:`~repro.core.session.TestBed`.
+
+All latencies are reported as half the measured round-trip, matching the
+papers' convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.session import TestBed
+from repro.core.waiting import BusyWait, WaitStrategy
+from repro.sim.process import Delay, SimGen
+from repro.util.units import ns_to_us
+
+WaitFactory = Callable[[], WaitStrategy]
+
+
+@dataclass
+class PingPongResult:
+    """Round-trip times of one pingpong flow."""
+
+    size: int
+    rtts_ns: list[int]
+    warmup: int
+
+    @property
+    def steady_rtts(self) -> list[int]:
+        return self.rtts_ns[self.warmup :]
+
+    @property
+    def latency_ns(self) -> float:
+        """Mean steady-state half-round-trip in nanoseconds."""
+        steady = self.steady_rtts
+        if not steady:
+            raise ValueError("no steady-state iterations recorded")
+        return sum(steady) / len(steady) / 2.0
+
+    @property
+    def latency_us(self) -> float:
+        return ns_to_us(self.latency_ns)
+
+
+def ping_thread(
+    bed: TestBed,
+    node: int,
+    peer: int,
+    *,
+    tag: int,
+    size: int,
+    iterations: int,
+    wait_factory: WaitFactory,
+    rtts_out: list[int],
+    compute_ns: int = 0,
+    stagger: bool = True,
+) -> SimGen:
+    """Initiator: send, (compute,) wait for the echo; record the RTT.
+
+    With ``compute_ns > 0`` this is the paper's overlap variant: the
+    compute phase sits between ``nm_isend`` and ``nm_wait``.
+
+    ``stagger`` (default on) inserts a small *stratified deterministic*
+    delay before each iteration, cycling through phases of the ~1 µs
+    polling loop.  On real hardware noise provides this averaging for
+    free; in the deterministic simulator, without it every iteration
+    aligns the arrival to the same point of the poll loop and measured
+    latencies carry an arbitrary phase bias of up to one pass.
+    """
+    lib = bed.lib(node)
+    engine = bed.engine
+    for i in range(iterations):
+        if stagger:
+            yield Delay((i * 742 + tag * 131) % 1201, "compute")
+        start = engine.now
+        rreq = yield from lib.irecv(peer, tag, size)
+        sreq = yield from lib.isend(peer, tag, size)
+        if compute_ns:
+            yield Delay(compute_ns, "compute")
+        yield from lib.wait(sreq, wait_factory())
+        yield from lib.wait(rreq, wait_factory())
+        rtts_out.append(engine.now - start)
+
+
+def pong_thread(
+    bed: TestBed,
+    node: int,
+    peer: int,
+    *,
+    tag: int,
+    size: int,
+    iterations: int,
+    wait_factory: WaitFactory,
+    compute_ns: int = 0,
+) -> SimGen:
+    """Echoer: wait for the ping, reply, (compute,) wait for completion."""
+    lib = bed.lib(node)
+    for _ in range(iterations):
+        rreq = yield from lib.irecv(peer, tag, size)
+        yield from lib.wait(rreq, wait_factory())
+        sreq = yield from lib.isend(peer, tag, size)
+        if compute_ns:
+            yield Delay(compute_ns, "compute")
+        yield from lib.wait(sreq, wait_factory())
+
+
+def run_pingpong(
+    bed: TestBed,
+    size: int,
+    *,
+    iterations: int = 24,
+    warmup: int = 4,
+    wait_factory: WaitFactory = BusyWait,
+    compute_ns: int = 0,
+    node_a: int = 0,
+    node_b: int = 1,
+    core_a: int = 0,
+    core_b: int = 0,
+    tag: int = 7,
+) -> PingPongResult:
+    """Run one single-flow pingpong and return its RTTs."""
+    rtts: list[int] = []
+    ta = bed.machine(node_a).scheduler.spawn(
+        ping_thread(
+            bed,
+            node_a,
+            node_b,
+            tag=tag,
+            size=size,
+            iterations=iterations,
+            wait_factory=wait_factory,
+            rtts_out=rtts,
+            compute_ns=compute_ns,
+        ),
+        name=f"ping-{size}",
+        core=core_a,
+        bound=True,
+    )
+    tb = bed.machine(node_b).scheduler.spawn(
+        pong_thread(
+            bed,
+            node_b,
+            node_a,
+            tag=tag,
+            size=size,
+            iterations=iterations,
+            wait_factory=wait_factory,
+            compute_ns=compute_ns,
+        ),
+        name=f"pong-{size}",
+        core=core_b,
+        bound=True,
+    )
+    bed.run(until=lambda: ta.done and tb.done)
+    return PingPongResult(size=size, rtts_ns=rtts, warmup=warmup)
+
+
+def run_concurrent_pingpong(
+    bed: TestBed,
+    size: int,
+    *,
+    nflows: int = 2,
+    iterations: int = 24,
+    warmup: int = 4,
+    wait_factory: WaitFactory = BusyWait,
+    node_a: int = 0,
+    node_b: int = 1,
+) -> list[PingPongResult]:
+    """Fig. 5 workload: ``nflows`` thread pairs pingpong concurrently.
+
+    Flow *i* runs on core *i* of both nodes with its own tag, so flows
+    contend only on the library's locks and the shared NIC.
+    """
+    ncores = bed.machine(node_a).ncores
+    if nflows > ncores:
+        raise ValueError(f"{nflows} flows exceed {ncores} cores")
+    flows: list[tuple[object, object, list[int]]] = []
+    for i in range(nflows):
+        rtts: list[int] = []
+        ta = bed.machine(node_a).scheduler.spawn(
+            ping_thread(
+                bed,
+                node_a,
+                node_b,
+                tag=100 + i,
+                size=size,
+                iterations=iterations,
+                wait_factory=wait_factory,
+                rtts_out=rtts,
+                stagger=True,
+            ),
+            name=f"ping{i}-{size}",
+            core=i,
+            bound=True,
+        )
+        tb = bed.machine(node_b).scheduler.spawn(
+            pong_thread(
+                bed,
+                node_b,
+                node_a,
+                tag=100 + i,
+                size=size,
+                iterations=iterations,
+                wait_factory=wait_factory,
+            ),
+            name=f"pong{i}-{size}",
+            core=i,
+            bound=True,
+        )
+        flows.append((ta, tb, rtts))
+    bed.run(until=lambda: all(a.done and b.done for a, b, _ in flows))
+    return [
+        PingPongResult(size=size, rtts_ns=rtts, warmup=warmup) for _, _, rtts in flows
+    ]

@@ -1,0 +1,52 @@
+"""Rendering benchmark results the way the paper's figures read.
+
+One figure becomes one ASCII table (sizes down, configurations across) plus
+a block of claim verdicts comparing the measured offsets/ratios against
+:mod:`repro.bench.paper`.
+"""
+
+from __future__ import annotations
+
+from repro.bench.paper import PaperClaim
+from repro.util.records import ResultSet
+from repro.util.tables import render_table
+from repro.util.units import format_size
+
+
+def figure_table(results: ResultSet, *, title: str) -> str:
+    """Sizes x configurations latency table (µs), like a figure's data."""
+    configs = results.configs()
+    if not configs:
+        raise ValueError("empty result set")
+    headers = ["size"] + list(configs)
+    rows = []
+    for size in results.sizes():
+        row: list[object] = [format_size(size)]
+        for config in configs:
+            try:
+                row.append(results.point(config, size))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def verdict_block(checks: list[tuple[PaperClaim, float]]) -> str:
+    """One verdict line per (claim, measured value) pair."""
+    return "\n".join(claim.verdict(measured) for claim, measured in checks)
+
+
+def print_figure(
+    results: ResultSet,
+    *,
+    title: str,
+    checks: list[tuple[PaperClaim, float]] | None = None,
+) -> str:
+    """Render (and print) a full figure report; returns the text."""
+    parts = [figure_table(results, title=title)]
+    if checks:
+        parts.append("")
+        parts.append(verdict_block(checks))
+    text = "\n".join(parts)
+    print(text)
+    return text

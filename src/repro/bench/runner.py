@@ -1,0 +1,45 @@
+"""Parameter sweeps: turn per-point measurement functions into ResultSets."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.bench.config import BenchConfig
+from repro.util.records import ResultRecord, ResultSet
+
+#: measures one (config, size) point; returns latency in microseconds
+PointFn = Callable[[int], float]
+
+
+def run_sweep(
+    experiment: str,
+    configs: Mapping[str, PointFn],
+    cfg: BenchConfig,
+    *,
+    extra: Callable[[str, int], dict] | None = None,
+) -> ResultSet:
+    """Measure every (config, size) combination.
+
+    Each point builds its own fresh testbed inside ``PointFn`` — points are
+    fully independent, like separate benchmark runs on the paper's cluster.
+    """
+    if not configs:
+        raise ValueError("run_sweep needs at least one config")
+    results = ResultSet()
+    for name, fn in configs.items():
+        for size in cfg.sizes:
+            latency_us = fn(size)
+            if latency_us < 0:
+                raise ValueError(
+                    f"negative latency from {name!r} at size {size}: {latency_us}"
+                )
+            results.add(
+                ResultRecord(
+                    experiment=experiment,
+                    config=name,
+                    size=size,
+                    latency_us=latency_us,
+                    extra=extra(name, size) if extra else {},
+                )
+            )
+    return results

@@ -1,0 +1,77 @@
+"""Cross-technology comparison: MX vs. InfiniBand vs. TCP.
+
+The paper ran its figures on Myri-10G/MX and reports "similar results
+with Infiniband" (§2); the related work (§5) dismisses TCP-only
+thread-safe MPIs for "perform[ing] badly for small messages".  This sweep
+quantifies both statements on the simulated stack: the same pingpong over
+each driver preset, plus the locking overheads measured per technology
+(the absolute lock cost is network-independent — it's host-side — so the
+*relative* impact shrinks as the base latency grows).
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.bench.config import BenchConfig
+from repro.bench.pingpong import run_pingpong
+from repro.bench.runner import run_sweep
+from repro.core.session import build_testbed
+from repro.net.drivers.base import Driver
+from repro.net.drivers.ib import IBDriver
+from repro.net.drivers.mx import MXDriver
+from repro.net.drivers.tcp import TCPDriver
+from repro.util.records import ResultSet
+
+TECHNOLOGIES: dict[str, Type[Driver]] = {
+    "mx": MXDriver,
+    "ib": IBDriver,
+    "tcp": TCPDriver,
+}
+
+
+def technology_latency(
+    tech: str, size: int, cfg: BenchConfig, *, policy: str = "none"
+) -> float:
+    """One pingpong latency point (us) on the given technology."""
+    try:
+        driver_cls = TECHNOLOGIES[tech]
+    except KeyError:
+        raise ValueError(
+            f"unknown technology {tech!r}; choose from {sorted(TECHNOLOGIES)}"
+        ) from None
+    bed = build_testbed(
+        policy=policy,
+        driver_cls=driver_cls,
+        seed=cfg.seed,
+        jitter_ns=cfg.jitter_ns,
+    )
+    res = run_pingpong(bed, size, iterations=cfg.iterations, warmup=cfg.warmup)
+    return res.latency_us
+
+
+def run_technology_sweep(cfg: BenchConfig | None = None) -> ResultSet:
+    """Latency curves for every technology (no locking)."""
+    cfg = cfg or BenchConfig()
+    return run_sweep(
+        "technologies",
+        {
+            tech: (lambda size, t=tech: technology_latency(t, size, cfg))
+            for tech in TECHNOLOGIES
+        },
+        cfg,
+    )
+
+
+def locking_impact_by_technology(
+    cfg: BenchConfig | None = None, *, size: int = 8
+) -> dict[str, float]:
+    """Relative latency impact of coarse locking per technology:
+    (coarse − none) / none at a small message size."""
+    cfg = cfg or BenchConfig()
+    out: dict[str, float] = {}
+    for tech in TECHNOLOGIES:
+        none = technology_latency(tech, size, cfg, policy="none")
+        coarse = technology_latency(tech, size, cfg, policy="coarse")
+        out[tech] = (coarse - none) / none
+    return out

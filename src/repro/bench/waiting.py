@@ -1,0 +1,138 @@
+"""Measurement functions for the waiting experiments (Figures 6, 7, §3.3).
+
+* Figure 6 — PIOMan's management overhead: busy waiting directly on the
+  library vs. through PIOMan, under both locking policies.
+* Figure 7 — active vs. passive (semaphore) waiting, both via PIOMan.
+* §3.3 fixed-spin — latency vs. the spin threshold when the event arrives
+  after a controlled delay (Karlin et al.'s competitive spinning).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.config import BenchConfig
+from repro.bench.pingpong import run_pingpong
+from repro.bench.runner import run_sweep
+from repro.core.session import TestBed, build_testbed
+from repro.core.waiting import (
+    BusyWait,
+    FixedSpinWait,
+    PassiveWait,
+    PiomanBusyWait,
+    WaitStrategy,
+)
+from repro.pioman.integration import attach_pioman
+from repro.sim.process import Delay
+from repro.util.records import ResultRecord, ResultSet
+
+
+def _bed(policy: str, cfg: BenchConfig, *, pioman: bool) -> TestBed:
+    bed = build_testbed(policy=policy, seed=cfg.seed, jitter_ns=cfg.jitter_ns)
+    if pioman:
+        for node in (0, 1):
+            # polling stays on the application's core: Figs. 6/7 isolate
+            # the PIOMan/semaphore costs from cache-affinity effects
+            attach_pioman(bed.machine(node), [bed.lib(node)], poll_cores=[0])
+    return bed
+
+
+def _latency(
+    policy: str,
+    size: int,
+    cfg: BenchConfig,
+    wait_factory: Callable[[], WaitStrategy],
+    *,
+    pioman: bool,
+) -> float:
+    bed = _bed(policy, cfg, pioman=pioman)
+    res = run_pingpong(
+        bed, size, iterations=cfg.iterations, warmup=cfg.warmup,
+        wait_factory=wait_factory,
+    )
+    return res.latency_us
+
+
+def run_fig6(cfg: BenchConfig | None = None) -> ResultSet:
+    """Figure 6: impact of PIOMan on latency.
+
+    Four series: {coarse, fine} × {direct busy wait, PIOMan busy wait}.
+    """
+    cfg = cfg or BenchConfig()
+    configs = {}
+    for policy in ("coarse", "fine"):
+        configs[f"{policy}"] = (
+            lambda size, p=policy: _latency(p, size, cfg, BusyWait, pioman=False)
+        )
+        configs[f"pioman ({policy})"] = (
+            lambda size, p=policy: _latency(p, size, cfg, PiomanBusyWait, pioman=True)
+        )
+    return run_sweep("fig6", configs, cfg)
+
+
+def run_fig7(cfg: BenchConfig | None = None) -> ResultSet:
+    """Figure 7: impact of semaphores (active vs. passive waiting)."""
+    cfg = cfg or BenchConfig()
+    configs = {}
+    for policy in ("coarse", "fine"):
+        configs[f"active ({policy})"] = (
+            lambda size, p=policy: _latency(p, size, cfg, PiomanBusyWait, pioman=True)
+        )
+        configs[f"passive ({policy})"] = (
+            lambda size, p=policy: _latency(p, size, cfg, PassiveWait, pioman=True)
+        )
+    return run_sweep("fig7", configs, cfg)
+
+
+def run_fixed_spin_sweep(
+    spin_values_ns: tuple[int, ...] = (0, 1_000, 2_000, 5_000, 10_000, 20_000),
+    event_delay_ns: int = 8_000,
+    *,
+    iterations: int = 12,
+    warmup: int = 2,
+) -> ResultSet:
+    """§3.3 / E9: one receive whose message arrives ``event_delay_ns`` after
+    the wait starts, waited on with different spin thresholds.
+
+    With ``spin >= delay`` the switch is avoided (latency ≈ active); with
+    ``spin < delay`` the 750 ns switch cost appears but is bounded.
+    """
+    results = ResultSet()
+    for spin_ns in spin_values_ns:
+        waited: list[int] = []
+        for _ in range(iterations):
+            bed = build_testbed(policy="fine")
+            for node in (0, 1):
+                # polling pinned to the waiter's core, as in Figs. 6/7:
+                # the sweep isolates the spin/block trade-off from
+                # cache-affinity effects
+                attach_pioman(bed.machine(node), [bed.lib(node)], poll_cores=[0])
+
+            def receiver():
+                lib = bed.lib(0)
+                req = yield from lib.irecv(1, 4, 8)
+                t0 = bed.engine.now
+                yield from lib.wait(req, FixedSpinWait(spin_ns=spin_ns))
+                waited.append(bed.engine.now - t0)
+
+            def sender():
+                lib = bed.lib(1)
+                yield Delay(event_delay_ns, "compute")
+                req = yield from lib.isend(0, 4, 8)
+                yield from lib.wait(req)
+
+            tr = bed.machine(0).scheduler.spawn(receiver(), name="r", core=0, bound=True)
+            ts = bed.machine(1).scheduler.spawn(sender(), name="s", core=0, bound=True)
+            bed.run(until=lambda: tr.done and ts.done)
+        steady = waited[warmup:]
+        mean_us = sum(steady) / len(steady) / 1_000
+        results.add(
+            ResultRecord(
+                "fixed-spin",
+                f"spin={spin_ns}ns",
+                spin_ns,
+                mean_us,
+                extra={"event_delay_ns": event_delay_ns},
+            )
+        )
+    return results

@@ -1,0 +1,84 @@
+"""NewMadeleine: the paper's communication library, reimplemented.
+
+Public surface:
+
+* :class:`NewMadeleine` — the library (``isend``/``irecv``/``wait``/
+  ``test``/``progress`` as simulated-thread generators);
+* :func:`build_testbed` / :class:`TestBed` — one-call cluster assembly;
+* locking policies (:func:`make_policy`), wait strategies
+  (:mod:`repro.core.waiting`), optimization strategies
+  (:mod:`repro.core.strategies`), and the calibrated :class:`CostModel`.
+"""
+
+from repro.core.collect import CollectLayer
+from repro.core.costmodel import CostModel
+from repro.core.library import NewMadeleine
+from repro.core.locking import (
+    POLICY_NAMES,
+    CoarseLocking,
+    FineLocking,
+    LockingPolicy,
+    NoLocking,
+    make_policy,
+)
+from repro.core.matching import MatchingTable
+from repro.core.packets import Chunk, Packet, PacketKind, cts_packet, data_packet, rts_packet
+from repro.core.requests import ANY_TAG, RecvRequest, ReqState, Request, SendRequest
+from repro.core.session import TestBed, add_rail_pair, build_testbed
+from repro.core.strategies import (
+    AggregatingStrategy,
+    WeightedMultirailStrategy,
+    DefaultStrategy,
+    FullStrategy,
+    MultirailStrategy,
+    Strategy,
+)
+from repro.core.transfer import TransferLayer
+from repro.core.waiting import (
+    BusyWait,
+    FixedSpinWait,
+    PassiveWait,
+    PiomanBusyWait,
+    WaitError,
+    WaitStrategy,
+)
+
+__all__ = [
+    "CollectLayer",
+    "CostModel",
+    "NewMadeleine",
+    "POLICY_NAMES",
+    "CoarseLocking",
+    "FineLocking",
+    "LockingPolicy",
+    "NoLocking",
+    "make_policy",
+    "MatchingTable",
+    "Chunk",
+    "Packet",
+    "PacketKind",
+    "cts_packet",
+    "data_packet",
+    "rts_packet",
+    "ANY_TAG",
+    "RecvRequest",
+    "ReqState",
+    "Request",
+    "SendRequest",
+    "TestBed",
+    "add_rail_pair",
+    "build_testbed",
+    "AggregatingStrategy",
+    "DefaultStrategy",
+    "FullStrategy",
+    "MultirailStrategy",
+    "WeightedMultirailStrategy",
+    "Strategy",
+    "TransferLayer",
+    "BusyWait",
+    "FixedSpinWait",
+    "PassiveWait",
+    "PiomanBusyWait",
+    "WaitError",
+    "WaitStrategy",
+]

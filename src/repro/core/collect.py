@@ -1,0 +1,63 @@
+"""The collect layer: per-peer lists of submitted messages.
+
+Topmost of NewMadeleine's three layers (Fig. 1): the application's
+``nm_isend`` deposits messages here, and the optimization layer later pulls
+them to assemble packets when a NIC becomes idle.  The per-peer lists are
+exactly the shared state the paper identifies for the fine-grain analysis:
+"the lists of packets to schedule in the collect layer (one list per peer)".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.requests import SendRequest
+
+
+class CollectLayer:
+    """Per-peer FIFO queues of pending send requests."""
+
+    def __init__(self) -> None:
+        self._queues: dict[int, deque[SendRequest]] = {}
+        self.submitted_total = 0
+
+    def submit(self, req: SendRequest) -> None:
+        """Append a send request to its peer's list (caller holds the
+        collect lock as required by the active policy)."""
+        self._queues.setdefault(req.peer, deque()).append(req)
+        self.submitted_total += 1
+
+    def pending(self, peer: int) -> int:
+        queue = self._queues.get(peer)
+        return len(queue) if queue else 0
+
+    def pending_total(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def has_pending(self) -> bool:
+        return any(self._queues.values())
+
+    def peers_with_pending(self) -> list[int]:
+        return [peer for peer, q in self._queues.items() if q]
+
+    def peek(self, peer: int) -> SendRequest | None:
+        queue = self._queues.get(peer)
+        return queue[0] if queue else None
+
+    def pop(self, peer: int) -> SendRequest:
+        """Remove and return the oldest pending send for ``peer``."""
+        queue = self._queues.get(peer)
+        if not queue:
+            raise LookupError(f"no pending sends for peer {peer}")
+        return queue.popleft()
+
+    def drain_upto(self, peer: int, max_requests: int) -> list[SendRequest]:
+        """Pop up to ``max_requests`` sends for ``peer`` (aggregation)."""
+        if max_requests <= 0:
+            raise ValueError("max_requests must be > 0")
+        out: list[SendRequest] = []
+        queue = self._queues.get(peer)
+        while queue and len(out) < max_requests:
+            out.append(queue.popleft())
+        return out

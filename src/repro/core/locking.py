@@ -1,0 +1,190 @@
+"""Locking policies: none, coarse-grain, fine-grain (paper §3.1-§3.2).
+
+Every policy exposes the same three *lock points*, taken by the library at
+fixed structural places; what differs is which lock object sits at each
+point:
+
+================  ==================  ==================  =================
+lock point        none                coarse              fine
+================  ==================  ==================  =================
+``send_section``  NullLock            the library lock    NullLock
+``collect_lock``  NullLock            NullLock (covered)  collect spinlock
+``tx_lock(d)``    NullLock            NullLock (covered)  per-driver tx
+``rx_lock(d)``    NullLock            the library lock    per-driver rx
+================  ==================  ==================  =================
+
+*Coarse* (Fig. 2): one library-wide spinlock, held across each *entry* into
+the library — the submission entry (collect + optimize + transmit under one
+acquisition) and the arrival-processing entry.  Two acquire/release cycles
+per message: **2 × 70 ns = 140 ns**, and everything the library does is
+serialised — the cause of the 2× latency in the concurrent pingpong
+(Fig. 5).
+
+*Fine* (Fig. 4): the paper identifies the shared state precisely — the
+collect-layer lists (one per peer, guarded globally because the packet
+scheduler iterates across them) and the transfer-layer lists (one per
+driver).  We split the driver lock into tx/rx halves (the NIC is
+full-duplex), giving three cycles per message plus the deeper list
+indirection: **3 × 70 + 20 = 230 ns**, but unrelated operations proceed in
+parallel.
+
+*None*: every point is a :class:`~repro.sim.sync.NullLock` — the unsafe
+single-threaded baseline of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.sync import NullLock, SpinLock, _LockBase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.drivers.base import Driver
+    from repro.sim.costs import SimCosts
+
+POLICY_NAMES = ("none", "coarse", "fine")
+
+
+class LockingPolicy:
+    """Maps the library's lock points to lock objects."""
+
+    name: str = "abstract"
+    #: extra per-message bookkeeping charged on submission (fine only)
+    per_message_extra_ns: int = 0
+
+    def send_section(self) -> _LockBase:
+        """Outer lock of the whole submission entry
+        (collect + optimize + transmit)."""
+        raise NotImplementedError
+
+    def collect_lock(self) -> _LockBase:
+        """Lock of the collect-layer lists (global: the scheduler iterates
+        across per-peer lists)."""
+        raise NotImplementedError
+
+    def tx_lock(self, driver: "Driver") -> _LockBase:
+        """Lock of one driver's outgoing packet list."""
+        raise NotImplementedError
+
+    def rx_lock(self, driver: "Driver") -> _LockBase:
+        """Lock serialising arrival processing on one driver."""
+        raise NotImplementedError
+
+    def poll_needs_lock(self, driver: "Driver") -> bool:
+        """Must even an *empty* poll of this driver hold the rx lock?
+
+        Coarse-grain locking answers yes regardless — a poll is a library
+        entry, and every entry takes the library lock (which is what
+        serialises concurrent waiters, Fig. 5).  The finer policies only
+        lock polls of thread-unsafe drivers ("similar actions should still
+        be performed under mutual exclusion, e.g. polling a thread-unsafe
+        network", §3.2); arrival *processing* is always locked.
+        """
+        return not driver.caps.thread_safe_poll
+
+    def lock_objects(self) -> list[_LockBase]:
+        """Every distinct lock object (for stats)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<LockingPolicy {self.name}>"
+
+
+class NoLocking(LockingPolicy):
+    """The thread-unsafe baseline: a single shared NullLock everywhere."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self._null = NullLock("none")
+
+    def send_section(self) -> _LockBase:
+        return self._null
+
+    def collect_lock(self) -> _LockBase:
+        return self._null
+
+    def tx_lock(self, driver: "Driver") -> _LockBase:
+        return self._null
+
+    def rx_lock(self, driver: "Driver") -> _LockBase:
+        return self._null
+
+    def lock_objects(self) -> list[_LockBase]:
+        return []
+
+
+class CoarseLocking(LockingPolicy):
+    """One library-wide spinlock held across each library entry."""
+
+    name = "coarse"
+
+    def __init__(self, costs: "SimCosts") -> None:
+        self.library_lock = SpinLock("nm-library", costs=costs)
+        self._null = NullLock("covered-by-library-lock")
+
+    def send_section(self) -> _LockBase:
+        return self.library_lock
+
+    def collect_lock(self) -> _LockBase:
+        return self._null
+
+    def tx_lock(self, driver: "Driver") -> _LockBase:
+        return self._null
+
+    def rx_lock(self, driver: "Driver") -> _LockBase:
+        return self.library_lock
+
+    def poll_needs_lock(self, driver: "Driver") -> bool:
+        return True  # every library entry takes the library-wide lock
+
+    def lock_objects(self) -> list[_LockBase]:
+        return [self.library_lock]
+
+
+class FineLocking(LockingPolicy):
+    """Per-structure spinlocks: collect lists + per-driver tx/rx."""
+
+    name = "fine"
+
+    def __init__(self, costs: "SimCosts", extra_ns: int = 20) -> None:
+        self._costs = costs
+        self.per_message_extra_ns = extra_ns
+        self._collect = SpinLock("nm-collect", costs=costs)
+        self._null = NullLock("fine-no-outer")
+        self._tx: dict[str, SpinLock] = {}
+        self._rx: dict[str, SpinLock] = {}
+
+    def send_section(self) -> _LockBase:
+        return self._null
+
+    def collect_lock(self) -> _LockBase:
+        return self._collect
+
+    def tx_lock(self, driver: "Driver") -> _LockBase:
+        lock = self._tx.get(driver.name)
+        if lock is None:
+            lock = SpinLock(f"nm-tx-{driver.name}", costs=self._costs)
+            self._tx[driver.name] = lock
+        return lock
+
+    def rx_lock(self, driver: "Driver") -> _LockBase:
+        lock = self._rx.get(driver.name)
+        if lock is None:
+            lock = SpinLock(f"nm-rx-{driver.name}", costs=self._costs)
+            self._rx[driver.name] = lock
+        return lock
+
+    def lock_objects(self) -> list[_LockBase]:
+        return [self._collect, *self._tx.values(), *self._rx.values()]
+
+
+def make_policy(name: str, costs: "SimCosts", *, fine_extra_ns: int = 20) -> LockingPolicy:
+    """Factory: ``"none"`` | ``"coarse"`` | ``"fine"``."""
+    if name == "none":
+        return NoLocking()
+    if name == "coarse":
+        return CoarseLocking(costs)
+    if name == "fine":
+        return FineLocking(costs, extra_ns=fine_extra_ns)
+    raise ValueError(f"unknown locking policy {name!r}; choose from {POLICY_NAMES}")

@@ -1,0 +1,170 @@
+"""Tag matching: posted receives and the unexpected queue.
+
+Arrived chunks are matched against posted receives by (source node, tag)
+in FIFO posting order, MPI-style.  Chunks (and rendezvous RTS handshakes)
+that arrive before a matching receive is posted are stashed on the
+*unexpected* queue and re-examined when a new receive is posted.
+
+The posted-receive list is consumed only by the progress engine; posting
+is modelled as a lock-free MPSC append (cost
+:attr:`repro.core.costmodel.CostModel.recv_post_ns`, no lock cycle —
+matching MX's lock-free posted-receive list).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.packets import Chunk
+from repro.core.requests import RecvRequest
+
+
+@dataclass
+class UnexpectedRts:
+    """A rendezvous announcement waiting for its receive to be posted."""
+
+    src_node: int
+    req_id: int
+    tag: int
+    size: int
+
+
+class MatchingTable:
+    """Posted receives plus unexpected chunks/handshakes for one library."""
+
+    def __init__(self) -> None:
+        self._posted: deque[RecvRequest] = deque()
+        self._unexpected_chunks: deque[Chunk] = deque()
+        self._unexpected_rts: deque[UnexpectedRts] = deque()
+        # matched-but-incomplete receives (multi-chunk / multirail), by
+        # (src_node, send_req_id)
+        self._in_progress: dict[tuple[int, int], RecvRequest] = {}
+        self.unexpected_hits = 0
+
+    # -- posting ------------------------------------------------------------
+
+    def post(self, req: RecvRequest) -> None:
+        self._posted.append(req)
+
+    @property
+    def posted_count(self) -> int:
+        return len(self._posted)
+
+    @property
+    def unexpected_count(self) -> int:
+        return len(self._unexpected_chunks) + len(self._unexpected_rts)
+
+    @property
+    def has_unexpected(self) -> bool:
+        return bool(self._unexpected_chunks or self._unexpected_rts)
+
+    def unexpected_chunks(self) -> tuple[Chunk, ...]:
+        """Read-only view of the stashed data chunks (for probing)."""
+        return tuple(self._unexpected_chunks)
+
+    def unexpected_rts(self) -> tuple[UnexpectedRts, ...]:
+        """Read-only view of the stashed rendezvous announcements."""
+        return tuple(self._unexpected_rts)
+
+    # -- matching ------------------------------------------------------------
+
+    def _find_posted(self, src_node: int, tag: int) -> RecvRequest | None:
+        for req in self._posted:
+            if req.peer == src_node and req.matches(tag):
+                self._posted.remove(req)
+                return req
+        return None
+
+    def match_chunk(self, chunk: Chunk) -> RecvRequest | None:
+        """Find the receive a data chunk belongs to.
+
+        Multi-chunk messages stay associated through ``_in_progress`` until
+        every byte has arrived.  Returns None (and stashes the chunk) when
+        no receive matches yet.
+        """
+        key = (chunk.src_node, chunk.send_req_id)
+        req = self._in_progress.get(key)
+        if req is None:
+            req = self._find_posted(chunk.src_node, chunk.tag)
+            if req is None:
+                self._unexpected_chunks.append(chunk)
+                return None
+            if req.size < chunk.msg_size:
+                raise RuntimeError(
+                    f"receive {req.req_id} buffer ({req.size} B) smaller than "
+                    f"incoming message ({chunk.msg_size} B)"
+                )
+            if chunk.length < chunk.msg_size:
+                self._in_progress[key] = req
+        return req
+
+    def finish_chunk(self, chunk: Chunk, req: RecvRequest) -> bool:
+        """Account a delivered chunk; returns True when the message is whole."""
+        if chunk.payload is not None:
+            req.payload = chunk.payload
+        req.add_bytes(chunk.length)
+        if req.bytes_done >= chunk.msg_size:
+            self._in_progress.pop((chunk.src_node, chunk.send_req_id), None)
+            return True
+        return False
+
+    def remove_posted(self, req: RecvRequest) -> bool:
+        """Withdraw a posted receive (cancellation). Returns False when the
+        request is no longer in the posted list (already matching)."""
+        try:
+            self._posted.remove(req)
+            return True
+        except ValueError:
+            return False
+
+    def register_in_progress(self, src_node: int, send_req_id: int, req: RecvRequest) -> None:
+        """Associate a partially-arrived / rendezvous message with its receive."""
+        self._in_progress[(src_node, send_req_id)] = req
+
+    def match_rts(self, src_node: int, req_id: int, tag: int, size: int) -> RecvRequest | None:
+        """Match a rendezvous announcement; stash it when nothing is posted."""
+        req = self._find_posted(src_node, tag)
+        if req is None:
+            self._unexpected_rts.append(UnexpectedRts(src_node, req_id, tag, size))
+            return None
+        if req.size < size:
+            raise RuntimeError(
+                f"receive {req.req_id} buffer ({req.size} B) smaller than "
+                f"announced rendezvous ({size} B)"
+            )
+        self._in_progress[(src_node, req_id)] = req
+        return req
+
+    # -- unexpected replay ------------------------------------------------------
+
+    def take_unexpected_chunks(self, req_filter: RecvRequest) -> list[Chunk]:
+        """Pop stashed chunks that the newly-posted receive matches."""
+        taken: list[Chunk] = []
+        keep: deque[Chunk] = deque()
+        matched_key: tuple[int, int] | None = None
+        for chunk in self._unexpected_chunks:
+            key = (chunk.src_node, chunk.send_req_id)
+            same_message = matched_key is not None and key == matched_key
+            if same_message or (
+                matched_key is None
+                and req_filter.peer == chunk.src_node
+                and req_filter.matches(chunk.tag)
+            ):
+                if matched_key is None:
+                    matched_key = key
+                taken.append(chunk)
+                self.unexpected_hits += 1
+            else:
+                keep.append(chunk)
+        self._unexpected_chunks = keep
+        return taken
+
+    def take_unexpected_rts(self, req_filter: RecvRequest) -> UnexpectedRts | None:
+        """Pop the oldest stashed RTS that the newly-posted receive matches."""
+        for rts in self._unexpected_rts:
+            if req_filter.peer == rts.src_node and req_filter.matches(rts.tag):
+                self._unexpected_rts.remove(rts)
+                self.unexpected_hits += 1
+                return rts
+        return None

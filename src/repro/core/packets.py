@@ -1,0 +1,157 @@
+"""Packets and chunks: NewMadeleine's wire units.
+
+The *collect* layer stores application messages; the *optimization* layer
+assembles them into :class:`Packet` objects — possibly **aggregating**
+several small messages bound for the same peer into one packet, or
+**splitting** one large message into several chunks spread over multiple
+rails (multirail).  A :class:`Chunk` is the slice of one message carried by
+one packet.
+
+Three packet kinds implement the protocols:
+
+* ``DATA`` — carries chunks (eager payload copied on both hosts, or
+  zero-copy rendezvous payload);
+* ``RTS`` (request-to-send) / ``CTS`` (clear-to-send) — the rendezvous
+  handshake for large messages, tiny control packets.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class PacketKind(enum.Enum):
+    DATA = "data"
+    RTS = "rts"
+    CTS = "cts"
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One message slice carried inside a packet.
+
+    ``payload`` optionally carries the application object the message
+    represents (attached to the offset-0 chunk only); the simulator prices
+    transfers by byte counts, and the payload rides along so higher layers
+    (Mad-MPI, the examples) can exchange real values.
+    """
+
+    src_node: int
+    send_req_id: int
+    tag: int
+    msg_size: int
+    offset: int
+    length: int
+    payload: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.msg_size < 0 or self.length < 0 or self.offset < 0:
+            raise ValueError("chunk geometry must be non-negative")
+        if self.offset + self.length > self.msg_size:
+            raise ValueError(
+                f"chunk [{self.offset}, {self.offset + self.length}) exceeds "
+                f"message size {self.msg_size}"
+            )
+
+    @property
+    def is_full_message(self) -> bool:
+        return self.offset == 0 and self.length == self.msg_size
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A wire unit produced by the optimization layer.
+
+    ``eager`` data packets are copied through host memory on both sides;
+    rendezvous data packets (``eager=False``) are zero-copy.  Control
+    packets (RTS/CTS) carry no payload.
+    """
+
+    kind: PacketKind
+    src_node: int
+    dst_node: int
+    header_bytes: int
+    chunks: tuple[Chunk, ...] = ()
+    eager: bool = True
+    #: for RTS/CTS: the send request the handshake is about
+    rdv_req_id: int | None = None
+    #: for RTS: metadata the receiver needs to match
+    rdv_tag: int | None = None
+    rdv_size: int | None = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: stamped by the receiving NIC when the rx DMA completes
+    arrived_at: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind is PacketKind.DATA:
+            if not self.chunks:
+                raise ValueError("DATA packet needs at least one chunk")
+        else:
+            if self.chunks:
+                raise ValueError(f"{self.kind.value} packet must not carry chunks")
+            if self.rdv_req_id is None:
+                raise ValueError(f"{self.kind.value} packet needs rdv_req_id")
+            if self.kind is PacketKind.RTS and (self.rdv_tag is None or self.rdv_size is None):
+                raise ValueError("RTS packet needs rdv_tag and rdv_size")
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(c.length for c in self.chunks)
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire: framing header plus payload."""
+        return self.header_bytes + self.payload_bytes
+
+    @property
+    def host_copy_bytes(self) -> int:
+        """Bytes memcpy'd per host side: eager payloads only."""
+        return self.payload_bytes if self.eager else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet #{self.packet_id} {self.kind.value} "
+            f"{self.src_node}->{self.dst_node} {self.payload_bytes}B "
+            f"x{len(self.chunks)}chunks>"
+        )
+
+
+def data_packet(
+    src_node: int,
+    dst_node: int,
+    chunks: tuple[Chunk, ...],
+    *,
+    header_bytes: int,
+    eager: bool,
+) -> Packet:
+    return Packet(
+        PacketKind.DATA,
+        src_node,
+        dst_node,
+        header_bytes,
+        chunks=tuple(chunks),
+        eager=eager,
+    )
+
+
+def rts_packet(
+    src_node: int, dst_node: int, req_id: int, tag: int, size: int, *, header_bytes: int
+) -> Packet:
+    return Packet(
+        PacketKind.RTS,
+        src_node,
+        dst_node,
+        header_bytes,
+        rdv_req_id=req_id,
+        rdv_tag=tag,
+        rdv_size=size,
+    )
+
+
+def cts_packet(src_node: int, dst_node: int, req_id: int, *, header_bytes: int) -> Packet:
+    return Packet(PacketKind.CTS, src_node, dst_node, header_bytes, rdv_req_id=req_id)

@@ -1,0 +1,153 @@
+"""Send and receive requests.
+
+Requests are what ``nm_isend``/``nm_irecv`` hand back to the application;
+``nm_wait``/``nm_test`` operate on them.  Completion is a
+:class:`repro.sim.sync.Completion`, which carries the inter-core
+cache-visibility semantics of Fig. 8: a request completed by a progression
+thread on core *k* becomes visible to a waiter on core *c* only after the
+topology's transfer cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING
+
+from repro.sim.sync import Completion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+#: wildcard receive tag
+ANY_TAG = -1
+
+
+class ReqState(enum.Enum):
+    PENDING = "pending"  # created, not yet picked up by the optimizer
+    RTS_SENT = "rts-sent"  # rendezvous send: waiting for CTS
+    IN_TRANSIT = "in-transit"  # data packets posted / partially arrived
+    DONE = "done"
+
+
+class Request:
+    """Base class: identity, progress bookkeeping, completion flag."""
+
+    _counter = 0
+
+    def __init__(self, machine: "Machine", peer: int, tag: int, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"message size must be >= 0, got {size}")
+        if tag < ANY_TAG:
+            raise ValueError(f"tag must be >= 0 (or ANY_TAG for receives), got {tag}")
+        Request._counter += 1
+        self.req_id = Request._counter
+        self.machine = machine
+        self.peer = peer
+        self.tag = tag
+        self.size = size
+        self.state = ReqState.PENDING
+        self.completion = Completion(machine, name=f"req{self.req_id}")
+        #: bytes handed to / received from the network so far
+        self.bytes_done = 0
+        #: simulated time of completion (for latency accounting)
+        self.completed_at: int | None = None
+        #: application object riding along with the message (sends carry
+        #: it out; receives surface what arrived)
+        self.payload: object | None = None
+        #: True when the request completed by cancellation, not by data
+        self.cancelled = False
+        #: lifecycle timestamps (ns) for latency decomposition:
+        #: sends record "submitted"/"injected"/"completed"; receives record
+        #: "posted"/"arrived"/"matched"/"completed"
+        self.timeline: dict[str, int] = {}
+
+    def stamp(self, event: str, time_ns: int | None = None) -> None:
+        """Record the first occurrence of a lifecycle event."""
+        when = self.machine.engine.now if time_ns is None else time_ns
+        self.timeline.setdefault(event, when)
+
+    @property
+    def done(self) -> bool:
+        return self.state is ReqState.DONE
+
+    def add_bytes(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("byte count must be >= 0")
+        self.bytes_done += n
+        if self.bytes_done > self.size:
+            raise RuntimeError(
+                f"request {self.req_id}: {self.bytes_done} bytes exceed size {self.size}"
+            )
+
+    @property
+    def all_bytes_done(self) -> bool:
+        return self.bytes_done >= self.size
+
+    def complete(self, *, core: int | None = None) -> None:
+        """Mark done and fire the completion from ``core``."""
+        if self.done:
+            raise RuntimeError(f"request {self.req_id} completed twice")
+        self.state = ReqState.DONE
+        self.completed_at = self.machine.engine.now
+        self.stamp("completed")
+        self.completion.fire(self, core=core)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} #{self.req_id} peer={self.peer} tag={self.tag} "
+            f"size={self.size} {self.state.value}>"
+        )
+
+
+class SendRequest(Request):
+    """An ``nm_isend`` in flight.
+
+    Eager sends complete at local injection; rendezvous sends complete when
+    the data packets have been posted after the CTS arrived.
+    """
+
+    def __init__(
+        self, machine: "Machine", peer: int, tag: int, size: int, *, eager: bool
+    ) -> None:
+        if tag == ANY_TAG:
+            raise ValueError("sends require a concrete tag")
+        super().__init__(machine, peer, tag, size)
+        self.eager = eager
+        #: core that ran ``nm_isend``; posting from another core pays the
+        #: descriptor cache transfer (paper §4.2)
+        self.submit_core: int | None = None
+
+
+class RecvRequest(Request):
+    """An ``nm_irecv`` in flight; completes when every byte has arrived.
+
+    ``tag=ANY_TAG`` matches any tag from the peer within the optional
+    wildcard bounds (``tag_bounds``) — higher layers use the bounds to
+    confine a wildcard to one communicator's tag space.
+    """
+
+    ANY_TAG = ANY_TAG
+
+    def __init__(
+        self,
+        machine: "Machine",
+        peer: int,
+        tag: int,
+        size: int,
+        *,
+        tag_bounds: tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__(machine, peer, tag, size)
+        if tag_bounds is not None:
+            lo, hi = tag_bounds
+            if lo > hi:
+                raise ValueError(f"empty tag_bounds {tag_bounds}")
+        self.tag_bounds = tag_bounds
+
+    def matches(self, tag: int) -> bool:
+        if self.tag != ANY_TAG:
+            return self.tag == tag
+        if self.tag_bounds is None:
+            return True
+        lo, hi = self.tag_bounds
+        return lo <= tag <= hi

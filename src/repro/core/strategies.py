@@ -1,0 +1,307 @@
+"""Optimization-layer scheduling strategies.
+
+NewMadeleine's optimization layer "applies dynamic scheduling optimizations
+on multiple communication flows such as packet reordering, coalescing,
+multirail distribution" (paper §2).  A :class:`Strategy` decides, each time
+a NIC becomes idle, how to turn the collect layer's pending messages into
+packets:
+
+* :class:`DefaultStrategy` — one message per packet, first rail;
+* :class:`AggregatingStrategy` — coalesces several small eager messages to
+  the same peer into one packet (ablation A1);
+* :class:`MultirailStrategy` — splits large rendezvous payloads across all
+  rails to a peer (ablation A2);
+* :class:`FullStrategy` — aggregation + multirail combined.
+
+Strategies only *assemble*; the library pushes the returned packets through
+the transfer layer under the policy's locks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.packets import Chunk, Packet, data_packet, rts_packet
+from repro.core.requests import ReqState, SendRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.library import NewMadeleine
+    from repro.net.drivers.base import Driver
+
+Plan = list[tuple["Driver", Packet]]
+
+
+class Strategy:
+    """Packet assembly policy of the optimization layer."""
+
+    name: str = "abstract"
+
+    def assemble(self, lib: "NewMadeleine", peer: int, rails: list["Driver"]) -> Plan:
+        """Pop pending sends for ``peer`` from the collect layer and build
+        packets for idle rails.  May return an empty plan (nothing pending,
+        or no rail idle)."""
+        raise NotImplementedError
+
+    def make_rdv_data(
+        self, lib: "NewMadeleine", req: SendRequest, rails: list["Driver"]
+    ) -> Plan:
+        """Build the zero-copy data packet(s) of a rendezvous send whose CTS
+        arrived."""
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------
+
+    @staticmethod
+    def _full_chunk(lib: "NewMadeleine", req: SendRequest) -> Chunk:
+        return Chunk(
+            src_node=lib.node_id,
+            send_req_id=req.req_id,
+            tag=req.tag,
+            msg_size=req.size,
+            offset=0,
+            length=req.size,
+            payload=req.payload,
+        )
+
+    @staticmethod
+    def _eager_packet(lib: "NewMadeleine", peer: int, reqs: list[SendRequest]) -> Packet:
+        chunks = tuple(Strategy._full_chunk(lib, r) for r in reqs)
+        return data_packet(
+            lib.node_id, peer, chunks, header_bytes=lib.costs.header_bytes, eager=True
+        )
+
+    @staticmethod
+    def _rts(lib: "NewMadeleine", req: SendRequest) -> Packet:
+        req.state = ReqState.RTS_SENT
+        return rts_packet(
+            lib.node_id,
+            req.peer,
+            req.req_id,
+            req.tag,
+            req.size,
+            header_bytes=lib.costs.header_bytes,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Strategy {self.name}>"
+
+
+class DefaultStrategy(Strategy):
+    """One packet per message on the peer's primary rail; no reshaping.
+
+    Eager data and rendezvous announcements always use the *primary* rail
+    (rails[0]): a flow's small messages and control packets must stay on
+    one FIFO path or they could overtake each other across rails and break
+    MPI's non-overtaking guarantee.  Only rendezvous *payload* chunks (which
+    carry offsets and need no ordering) may spread over other rails.
+    """
+
+    name = "default"
+
+    def assemble(self, lib: "NewMadeleine", peer: int, rails: list["Driver"]) -> Plan:
+        rail = rails[0]
+        if not rail.tx_idle:
+            return []  # NIC-driven: wait for the primary rail
+        plan: Plan = []
+        while lib.collect.pending(peer):
+            req = lib.collect.pop(peer)
+            if req.eager:
+                plan.append((rail, self._eager_packet(lib, peer, [req])))
+            else:
+                plan.append((rail, self._rts(lib, req)))
+        return plan
+
+    def make_rdv_data(
+        self, lib: "NewMadeleine", req: SendRequest, rails: list["Driver"]
+    ) -> Plan:
+        packet = data_packet(
+            lib.node_id,
+            req.peer,
+            (self._full_chunk(lib, req),),
+            header_bytes=lib.costs.header_bytes,
+            eager=False,
+        )
+        return [(rails[0], packet)]
+
+
+class AggregatingStrategy(DefaultStrategy):
+    """Coalesce small eager messages to the same peer into one packet.
+
+    Aggregation triggers when several sends accumulated while the NIC was
+    busy — exactly the situation the collect layer exists for.  Messages
+    join the aggregate while the packet payload stays under
+    ``max_bytes`` (default: the cost model's ``aggregation_max_bytes``).
+    """
+
+    name = "aggregating"
+
+    def __init__(self, max_bytes: int | None = None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be > 0")
+        self.max_bytes = max_bytes
+        self.aggregated_messages = 0
+        self.aggregate_packets = 0
+
+    def assemble(self, lib: "NewMadeleine", peer: int, rails: list["Driver"]) -> Plan:
+        rail = rails[0]  # primary rail only: see DefaultStrategy.assemble
+        if not rail.tx_idle:
+            return []
+        limit = self.max_bytes if self.max_bytes is not None else lib.costs.aggregation_max_bytes
+        plan: Plan = []
+        batch: list[SendRequest] = []
+        batch_bytes = 0
+
+        def flush_batch() -> None:
+            nonlocal batch, batch_bytes
+            if batch:
+                if len(batch) > 1:
+                    self.aggregated_messages += len(batch)
+                    self.aggregate_packets += 1
+                plan.append((rail, self._eager_packet(lib, peer, batch)))
+                batch = []
+                batch_bytes = 0
+
+        while lib.collect.pending(peer):
+            head = lib.collect.peek(peer)
+            if not head.eager:
+                flush_batch()
+                plan.append((rail, self._rts(lib, lib.collect.pop(peer))))
+                continue
+            if batch and batch_bytes + head.size > limit:
+                flush_batch()
+            lib.collect.pop(peer)
+            batch.append(head)
+            batch_bytes += head.size
+        flush_batch()
+        return plan
+
+
+class MultirailStrategy(DefaultStrategy):
+    """Split rendezvous payloads across every rail to the peer.
+
+    Small (eager) traffic keeps using the first rail: splitting tiny
+    messages costs more in per-packet overhead than it gains.
+    ``min_split_bytes`` guards against splitting payloads too small to
+    amortise a second rail.
+    """
+
+    name = "multirail"
+
+    def __init__(self, min_split_bytes: int = 8_192) -> None:
+        if min_split_bytes < 2:
+            raise ValueError("min_split_bytes must be >= 2")
+        self.min_split_bytes = min_split_bytes
+        self.split_messages = 0
+
+    def make_rdv_data(
+        self, lib: "NewMadeleine", req: SendRequest, rails: list["Driver"]
+    ) -> Plan:
+        nrails = len(rails)
+        if nrails == 1 or req.size < self.min_split_bytes:
+            return super().make_rdv_data(lib, req, rails)
+        self.split_messages += 1
+        base = req.size // nrails
+        plan: Plan = []
+        offset = 0
+        for i, rail in enumerate(rails):
+            length = base if i < nrails - 1 else req.size - offset
+            chunk = Chunk(
+                src_node=lib.node_id,
+                send_req_id=req.req_id,
+                tag=req.tag,
+                msg_size=req.size,
+                offset=offset,
+                length=length,
+                payload=req.payload if offset == 0 else None,
+            )
+            plan.append(
+                (
+                    rail,
+                    data_packet(
+                        lib.node_id,
+                        req.peer,
+                        (chunk,),
+                        header_bytes=lib.costs.header_bytes,
+                        eager=False,
+                    ),
+                )
+            )
+            offset += length
+        return plan
+
+
+class WeightedMultirailStrategy(MultirailStrategy):
+    """Multirail splitting proportional to each rail's wire bandwidth.
+
+    NewMadeleine's multirail distribution supports *heterogeneous* rails
+    (e.g. one Myri-10G port plus one InfiniBand port); splitting a message
+    evenly would finish when the slow rail does.  Weighting each chunk by
+    the rail's byte rate makes all rails finish together, which is what
+    minimises the transfer time.
+    """
+
+    name = "weighted-multirail"
+
+    def make_rdv_data(
+        self, lib: "NewMadeleine", req: SendRequest, rails: list["Driver"]
+    ) -> Plan:
+        nrails = len(rails)
+        if nrails == 1 or req.size < self.min_split_bytes:
+            return DefaultStrategy.make_rdv_data(self, lib, req, rails)
+        self.split_messages += 1
+        # weight by byte rate: 1 / ns_per_byte
+        rates = [1.0 / max(rail.model.ns_per_byte, 1e-9) for rail in rails]
+        total_rate = sum(rates)
+        plan: Plan = []
+        offset = 0
+        for i, rail in enumerate(rails):
+            if i < nrails - 1:
+                length = int(req.size * rates[i] / total_rate)
+            else:
+                length = req.size - offset
+            if length <= 0:
+                continue
+            chunk = Chunk(
+                src_node=lib.node_id,
+                send_req_id=req.req_id,
+                tag=req.tag,
+                msg_size=req.size,
+                offset=offset,
+                length=length,
+                payload=req.payload if offset == 0 else None,
+            )
+            plan.append(
+                (
+                    rail,
+                    data_packet(
+                        lib.node_id,
+                        req.peer,
+                        (chunk,),
+                        header_bytes=lib.costs.header_bytes,
+                        eager=False,
+                    ),
+                )
+            )
+            offset += length
+        return plan
+
+
+class FullStrategy(AggregatingStrategy):
+    """Aggregation for small messages + multirail for large ones."""
+
+    name = "full"
+
+    def __init__(
+        self, max_bytes: int | None = None, min_split_bytes: int = 8_192
+    ) -> None:
+        super().__init__(max_bytes)
+        self._multirail = MultirailStrategy(min_split_bytes)
+
+    @property
+    def split_messages(self) -> int:
+        return self._multirail.split_messages
+
+    def make_rdv_data(
+        self, lib: "NewMadeleine", req: SendRequest, rails: list["Driver"]
+    ) -> Plan:
+        return self._multirail.make_rdv_data(lib, req, rails)

@@ -1,0 +1,62 @@
+"""The transfer layer: per-driver outgoing packet lists.
+
+Bottom of the three layers (Fig. 1): the optimization layer deposits
+assembled packets here; a driver drains its own list when its NIC is idle.
+These are the second set of shared lists the paper's fine-grain analysis
+names: "the lists of packets to send through the network in the transfer
+layer (one list per driver)".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.core.packets import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.drivers.base import Driver
+
+
+class TransferLayer:
+    """Per-driver FIFO queues of packets awaiting injection."""
+
+    def __init__(self, drivers: list["Driver"]) -> None:
+        if not drivers:
+            raise ValueError("transfer layer needs at least one driver")
+        self._queues: dict[str, deque[Packet]] = {d.name: deque() for d in drivers}
+        self.enqueued_total = 0
+
+    def add_driver(self, driver: "Driver") -> None:
+        """Register a driver added after construction (extra rail)."""
+        if driver.name in self._queues:
+            raise ValueError(f"driver {driver.name!r} already registered")
+        self._queues[driver.name] = deque()
+
+    def push(self, driver: "Driver", packet: Packet) -> None:
+        """Queue ``packet`` on ``driver`` (caller holds the tx lock)."""
+        try:
+            self._queues[driver.name].append(packet)
+        except KeyError:
+            raise LookupError(f"unknown driver {driver.name!r}") from None
+        self.enqueued_total += 1
+
+    def pop(self, driver: "Driver") -> Packet | None:
+        """Take the next packet for ``driver`` (caller holds the tx lock)."""
+        queue = self._queues.get(driver.name)
+        if queue is None:
+            raise LookupError(f"unknown driver {driver.name!r}")
+        return queue.popleft() if queue else None
+
+    def pending(self, driver: "Driver") -> int:
+        queue = self._queues.get(driver.name)
+        if queue is None:
+            raise LookupError(f"unknown driver {driver.name!r}")
+        return len(queue)
+
+    @property
+    def has_pending(self) -> bool:
+        return any(self._queues.values())
+
+    def pending_total(self) -> int:
+        return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,56 @@
+"""Mad-MPI: NewMadeleine's MPI interface (paper §2), simulated.
+
+Quick use::
+
+    from repro.core import build_testbed
+    from repro.madmpi import ThreadLevel, create_world
+
+    bed = build_testbed(nodes=2, policy="fine")
+    comms = create_world(bed, thread_level=ThreadLevel.MULTIPLE)
+    # spawn one simulated thread per rank running your rank function
+"""
+
+from repro.madmpi.datatypes import (
+    BYTE,
+    CHAR,
+    COMPLEX,
+    DOUBLE,
+    DOUBLE_COMPLEX,
+    FLOAT,
+    INT,
+    LONG,
+    PREDEFINED,
+    Datatype,
+)
+from repro.madmpi.mpi import (
+    MAX_USER_TAG,
+    Communicator,
+    MPIRequest,
+    PersistentRequest,
+    create_world,
+    run_ranks,
+)
+from repro.madmpi.status import ANY_TAG, MPIError, Status, ThreadLevel
+
+__all__ = [
+    "BYTE",
+    "CHAR",
+    "COMPLEX",
+    "DOUBLE",
+    "DOUBLE_COMPLEX",
+    "FLOAT",
+    "INT",
+    "LONG",
+    "PREDEFINED",
+    "Datatype",
+    "MAX_USER_TAG",
+    "Communicator",
+    "MPIRequest",
+    "PersistentRequest",
+    "create_world",
+    "run_ranks",
+    "ANY_TAG",
+    "MPIError",
+    "Status",
+    "ThreadLevel",
+]

@@ -1,0 +1,60 @@
+"""MPI datatypes (the subset Mad-MPI exposes).
+
+Message costs in the simulator are driven by byte counts, so a datatype is
+essentially a name plus an extent; derived contiguous/vector types compose
+extents the way MPI's type constructors do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI datatype: name and size of one element in bytes."""
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"datatype size must be >= 0, got {self.size_bytes}")
+
+    def extent(self, count: int) -> int:
+        """Total bytes of ``count`` elements."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return count * self.size_bytes
+
+    def contiguous(self, count: int, name: str | None = None) -> "Datatype":
+        """MPI_Type_contiguous: a block of ``count`` elements."""
+        if count <= 0:
+            raise ValueError(f"count must be > 0, got {count}")
+        return Datatype(name or f"{self.name}[{count}]", self.size_bytes * count)
+
+    def vector(
+        self, count: int, blocklength: int, name: str | None = None
+    ) -> "Datatype":
+        """MPI_Type_vector's payload size (strides carry no wire bytes)."""
+        if count <= 0 or blocklength <= 0:
+            raise ValueError("count and blocklength must be > 0")
+        return Datatype(
+            name or f"{self.name}[{count}x{blocklength}]",
+            self.size_bytes * count * blocklength,
+        )
+
+
+BYTE = Datatype("MPI_BYTE", 1)
+CHAR = Datatype("MPI_CHAR", 1)
+INT = Datatype("MPI_INT", 4)
+LONG = Datatype("MPI_LONG", 8)
+FLOAT = Datatype("MPI_FLOAT", 4)
+DOUBLE = Datatype("MPI_DOUBLE", 8)
+COMPLEX = Datatype("MPI_COMPLEX", 8)
+DOUBLE_COMPLEX = Datatype("MPI_DOUBLE_COMPLEX", 16)
+
+PREDEFINED = {
+    d.name: d
+    for d in (BYTE, CHAR, INT, LONG, FLOAT, DOUBLE, COMPLEX, DOUBLE_COMPLEX)
+}

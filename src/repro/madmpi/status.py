@@ -1,0 +1,47 @@
+"""MPI status objects, wildcards and thread-support levels."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: wildcard receive tag (MPI_ANY_TAG)
+ANY_TAG = -1
+
+
+class ThreadLevel(enum.IntEnum):
+    """MPI thread-support levels (MPI-2).
+
+    The paper studies what it takes to provide the highest level:
+    ``MPI_THREAD_MULTIPLE`` — "a multi-threaded application can perform
+    communication in multiple threads".
+    """
+
+    SINGLE = 0
+    FUNNELED = 1
+    SERIALIZED = 2
+    MULTIPLE = 3
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion information of a receive (MPI_Status)."""
+
+    source: int
+    tag: int
+    count_bytes: int
+
+    def get_count(self, datatype) -> int:
+        """Number of ``datatype`` elements received (MPI_Get_count)."""
+        if datatype.size_bytes == 0:
+            return 0
+        if self.count_bytes % datatype.size_bytes:
+            raise ValueError(
+                f"{self.count_bytes} bytes is not a whole number of "
+                f"{datatype.name} elements"
+            )
+        return self.count_bytes // datatype.size_bytes
+
+
+class MPIError(RuntimeError):
+    """Erroneous MPI usage (wrong rank, thread-level violation...)."""

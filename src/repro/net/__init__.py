@@ -1,0 +1,32 @@
+"""Network substrate: link models, simulated NICs, drivers and fabric.
+
+Stands in for the paper's Myri-10G (MX), ConnectX InfiniBand and Ethernet
+hardware.  The communication library in :mod:`repro.core` drives these
+components; nothing here depends on it.
+"""
+
+from repro.net.drivers.base import Driver, DriverCaps
+from repro.net.drivers.ib import IB_CAPS, IB_MODEL, IBDriver
+from repro.net.drivers.mx import MX_CAPS, MX_MODEL, MXDriver
+from repro.net.drivers.tcp import TCP_CAPS, TCP_MODEL, TCPDriver
+from repro.net.fabric import Fabric, wire_pair
+from repro.net.model import LinkModel
+from repro.net.nic import SimNIC
+
+__all__ = [
+    "Driver",
+    "DriverCaps",
+    "IB_CAPS",
+    "IB_MODEL",
+    "IBDriver",
+    "MX_CAPS",
+    "MX_MODEL",
+    "MXDriver",
+    "TCP_CAPS",
+    "TCP_MODEL",
+    "TCPDriver",
+    "Fabric",
+    "wire_pair",
+    "LinkModel",
+    "SimNIC",
+]

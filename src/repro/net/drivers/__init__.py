@@ -1,0 +1,8 @@
+"""Driver presets for the paper's network technologies."""
+
+from repro.net.drivers.base import Driver, DriverCaps
+from repro.net.drivers.ib import IBDriver
+from repro.net.drivers.mx import MXDriver
+from repro.net.drivers.tcp import TCPDriver
+
+__all__ = ["Driver", "DriverCaps", "IBDriver", "MXDriver", "TCPDriver"]

@@ -1,0 +1,128 @@
+"""Driver abstraction: the host-side face of a NIC.
+
+A :class:`Driver` owns one :class:`~repro.net.nic.SimNIC` and charges the
+host CPU costs of using it.  Its methods are generators run on whatever
+core performs the communication work — the application thread, a PIOMan
+idle-core hook, or a tasklet — so the *placement* of these costs is decided
+by the caller, which is precisely what the paper studies.
+
+``DriverCaps`` advertises per-technology properties the library's
+optimization layer consults (eager limit for the copy-based protocol,
+whether concurrent polling of this NIC is safe without a lock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+from repro.net.model import LinkModel
+from repro.net.nic import SimNIC
+from repro.sim.process import Delay, SimGen
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+
+@dataclass(frozen=True)
+class DriverCaps:
+    """Static capabilities of a driver/NIC pair."""
+
+    #: largest payload sent with the copy-based eager protocol
+    eager_max_bytes: int = 4096
+    #: False models a thread-unsafe NIC library: polls must be serialised
+    thread_safe_poll: bool = True
+
+
+class Driver:
+    """Base driver: eager/rendezvous-aware send and poll generators."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        model: LinkModel,
+        name: str,
+        caps: DriverCaps | None = None,
+    ) -> None:
+        self.machine = machine
+        self.model = model
+        self.name = name
+        self.caps = caps or DriverCaps()
+        self.nic = SimNIC(machine, model, f"{machine.name}/{name}")
+
+    # -- send ------------------------------------------------------------------
+
+    #: polling slice while waiting for a send credit (spin on the doorbell)
+    CREDIT_SPIN_NS = 100
+
+    def post_send(self, packet: Any) -> SimGen:
+        """Charge send-side host costs and inject ``packet``.
+
+        If the NIC's message engine is busy (back-to-back sends, or a
+        concurrent flow), the host spins for a send credit first — with the
+        calling thread holding whatever locks the policy put around the
+        transmit path, which is exactly how a global lock serialises
+        concurrent flows (Fig. 5).
+
+        ``packet`` must expose ``wire_size`` (bytes on the wire) and
+        ``host_copy_bytes`` (bytes memcpy'd on each host for the eager
+        protocol; 0 for zero-copy rendezvous data).
+        """
+        cost = self.model.send_overhead_ns + self.model.copy_ns(packet.host_copy_bytes)
+        yield Delay(cost, "net")
+        while not self.nic.tx_idle:
+            yield Delay(self.CREDIT_SPIN_NS, "net")
+        self.nic.inject(packet, packet.wire_size)
+
+    # -- receive -----------------------------------------------------------------
+
+    #: price of claiming an event a probe already read (the probe did the
+    #: completion-queue read; the pop itself is a pointer bump)
+    CLAIM_NS = 0
+
+    def poll(self, *, after_probe: bool = False) -> SimGen:
+        """One poll: charge the poll price; on arrival, charge receive-side
+        processing and return the packet (else None).
+
+        Popping hands the caller responsibility for *processing order*:
+        callers that may run concurrently (fine-grain policies on a
+        thread-safe NIC) must hold the rx lock across poll+processing, or
+        two pollers could process back-to-back packets out of order.  Use
+        :meth:`probe` for lock-free emptiness checks; a poll right after a
+        positive probe charges only the cheap claim (the completion event
+        was already read).
+        """
+        yield Delay(self.CLAIM_NS if after_probe else self.model.poll_ns, "poll")
+        packet = self.nic.rx_pop()
+        if packet is None:
+            return None
+        cost = self.model.recv_overhead_ns + self.model.copy_ns(packet.host_copy_bytes)
+        yield Delay(cost, "net")
+        return packet
+
+    def probe(self) -> SimGen:
+        """Non-popping poll: charge the poll price, report pending count.
+
+        Safe to run without any lock on a thread-safe NIC (reads the
+        completion counter only); the busy-wait fast path of the fine-grain
+        policies.
+        """
+        yield Delay(self.model.poll_ns, "poll")
+        return self.nic.rx_pending
+
+    @property
+    def rx_pending(self) -> int:
+        """Cheap check used to size polling effort (a real driver reads a
+        doorbell/counter without a syscall)."""
+        return self.nic.rx_pending
+
+    @property
+    def tx_idle(self) -> bool:
+        return self.nic.tx_idle
+
+    def is_eager(self, payload_bytes: int) -> bool:
+        """Should a payload of this size use the copy-based eager protocol?"""
+        return payload_bytes <= self.caps.eager_max_bytes
+
+    def __repr__(self) -> str:
+        return f"<Driver {self.name!r} model={self.model.name}>"

@@ -1,0 +1,38 @@
+"""InfiniBand ConnectX DDR (Verbs) — the paper's second network.
+
+The testbed used Mellanox ConnectX MT25418 DDR HCAs with OFED 1.3.1; the
+paper reports that the Myrinet results "were similar with Infiniband".
+DDR 4x gives 16 Gb/s of data bandwidth (0.5 ns/byte); verbs send/recv has
+slightly lower host overheads than MX.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.drivers.base import Driver, DriverCaps
+from repro.net.model import LinkModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+IB_MODEL = LinkModel(
+    name="ib-connectx-ddr",
+    wire_latency_ns=150,
+    ns_per_byte=0.5,  # DDR 4x data rate
+    send_overhead_ns=400,
+    recv_overhead_ns=250,
+    poll_ns=400,
+    copy_ns_per_byte=0.7,
+    min_tx_gap_ns=350,
+    min_rx_gap_ns=250,
+)
+
+IB_CAPS = DriverCaps(eager_max_bytes=8192, thread_safe_poll=True)
+
+
+class IBDriver(Driver):
+    """Driver preset for ConnectX InfiniBand DDR."""
+
+    def __init__(self, machine: "Machine", name: str = "ib0") -> None:
+        super().__init__(machine, IB_MODEL, name, IB_CAPS)

@@ -1,0 +1,39 @@
+"""TCP/Ethernet — NewMadeleine's commodity fallback transport.
+
+Gigabit Ethernet through the kernel socket stack: long wire latency, heavy
+per-message syscall overheads, and every byte copied through kernel
+buffers.  The related work (§5) notes that TCP-only thread-safe MPIs like
+MiMPI "perform badly for small messages"; this preset lets the benches
+reproduce that contrast.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.drivers.base import Driver, DriverCaps
+from repro.net.model import LinkModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+TCP_MODEL = LinkModel(
+    name="tcp-gige",
+    wire_latency_ns=18_000,
+    ns_per_byte=8.0,  # 1 Gb/s
+    send_overhead_ns=2_500,
+    recv_overhead_ns=2_500,
+    poll_ns=600,
+    copy_ns_per_byte=1.0,
+    min_tx_gap_ns=5000,
+    min_rx_gap_ns=3000,
+)
+
+TCP_CAPS = DriverCaps(eager_max_bytes=32 * 1024, thread_safe_poll=False)
+
+
+class TCPDriver(Driver):
+    """Driver preset for TCP over gigabit Ethernet."""
+
+    def __init__(self, machine: "Machine", name: str = "tcp0") -> None:
+        super().__init__(machine, TCP_MODEL, name, TCP_CAPS)

@@ -1,0 +1,57 @@
+"""Fabric: wiring NICs of different machines together.
+
+A :class:`Fabric` tracks point-to-point links between NIC pairs.  The
+standard two-node testbed helper :func:`wire_pair` creates one driver of
+the requested class on each machine and connects them; multirail setups
+call it several times with different driver names/classes.
+"""
+
+from __future__ import annotations
+
+from typing import Type, TYPE_CHECKING
+
+from repro.net.drivers.base import Driver
+from repro.net.nic import SimNIC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+
+class Fabric:
+    """Registry of NIC-to-NIC links."""
+
+    def __init__(self) -> None:
+        self._links: list[tuple[SimNIC, SimNIC]] = []
+
+    def connect(self, a: SimNIC, b: SimNIC) -> None:
+        a.connect(b)
+        self._links.append((a, b))
+
+    @property
+    def links(self) -> list[tuple[SimNIC, SimNIC]]:
+        return list(self._links)
+
+    def total_traffic_bytes(self) -> int:
+        return sum(a.tx_bytes + b.tx_bytes for a, b in self._links)
+
+
+def wire_pair(
+    fabric: Fabric,
+    machine_a: "Machine",
+    machine_b: "Machine",
+    driver_cls: Type[Driver],
+    *,
+    name: str | None = None,
+) -> tuple[Driver, Driver]:
+    """Create one driver of ``driver_cls`` on each machine and wire them.
+
+    Returns the (machine_a, machine_b) driver pair; the pair shares the
+    driver ``name`` so the library can match rails across nodes.
+    """
+    if machine_a is machine_b:
+        raise ValueError("wire_pair needs two distinct machines")
+    kwargs = {} if name is None else {"name": name}
+    drv_a = driver_cls(machine_a, **kwargs)
+    drv_b = driver_cls(machine_b, **kwargs)
+    fabric.connect(drv_a.nic, drv_b.nic)
+    return drv_a, drv_b

@@ -1,0 +1,94 @@
+"""Link cost models (LogGP-style).
+
+A :class:`LinkModel` prices one network technology:
+
+* ``send_overhead_ns`` (*o_s*) — host CPU time to post a message to the NIC;
+* ``recv_overhead_ns`` (*o_r*) — host CPU time to process an arrival;
+* ``wire_latency_ns`` (*L*) — time of flight for the first byte;
+* ``ns_per_byte`` (*G*) — serialisation cost per payload byte;
+* ``poll_ns`` — price of one NIC poll (empty or not);
+* ``copy_ns_per_byte`` — host memcpy price per byte, paid per side for
+  eager-protocol messages (zero-copy rendezvous transfers skip it).
+
+The presets in :mod:`repro.net.drivers` are calibrated so that the
+no-locking pingpong over the MX model spans ≈3 µs (1 B) to ≈8 µs (2 KB),
+matching the baseline curve of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Cost parameters of one network technology."""
+
+    name: str
+    wire_latency_ns: int
+    ns_per_byte: float
+    send_overhead_ns: int
+    recv_overhead_ns: int
+    poll_ns: int
+    copy_ns_per_byte: float = 0.0
+    #: minimum NIC occupancy per injected packet (the message-rate limit:
+    #: DMA descriptor handling keeps the NIC busy even for tiny packets).
+    #: Back-to-back small sends queue behind it — which is what gives the
+    #: optimization layer its window to aggregate.
+    min_tx_gap_ns: int = 0
+    #: NIC engine occupancy per *received* packet (rx DMA + completion
+    #: write-back).  Shares the same engine timeline as tx: a NIC handling
+    #: two concurrent pingpong flows approaches its message-rate limit,
+    #: which is the saturation behind Fig. 5's latency doubling.
+    min_rx_gap_ns: int = 0
+
+    def __post_init__(self) -> None:
+        for field in (
+            "wire_latency_ns",
+            "send_overhead_ns",
+            "recv_overhead_ns",
+            "poll_ns",
+            "min_tx_gap_ns",
+            "min_rx_gap_ns",
+        ):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be >= 0")
+        if self.ns_per_byte < 0 or self.copy_ns_per_byte < 0:
+            raise ValueError("per-byte costs must be >= 0")
+
+    def tx_occupancy_ns(self, nbytes: int) -> int:
+        """How long the NIC stays busy after injecting ``nbytes``."""
+        return max(self.serialize_ns(nbytes), self.min_tx_gap_ns)
+
+    def serialize_ns(self, nbytes: int) -> int:
+        """Time for the NIC to put ``nbytes`` on the wire."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return int(round(nbytes * self.ns_per_byte))
+
+    def wire_time_ns(self, nbytes: int) -> int:
+        """First-bit-out to last-bit-in: latency plus serialisation."""
+        return self.wire_latency_ns + self.serialize_ns(nbytes)
+
+    def copy_ns(self, nbytes: int) -> int:
+        """One-side host copy price for an eager message."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return int(round(nbytes * self.copy_ns_per_byte))
+
+    def half_roundtrip_floor_ns(self, nbytes: int, *, eager: bool = True) -> int:
+        """Analytic lower bound on one-way latency for sanity checks:
+        send overhead + NIC tx processing + wire flight + NIC rx
+        processing + receive overhead (+ two host copies when eager).
+        Real measured latency adds polling quantisation and library costs
+        on top."""
+        total = (
+            self.send_overhead_ns
+            + self.tx_occupancy_ns(nbytes)
+            + self.wire_latency_ns
+            + self.min_rx_gap_ns
+            + self.recv_overhead_ns
+        )
+        if eager:
+            total += 2 * self.copy_ns(nbytes)
+        return total

@@ -1,0 +1,142 @@
+"""Simulated network interface cards.
+
+A :class:`SimNIC` belongs to one machine and is wired to exactly one peer
+NIC through a :class:`~repro.net.fabric.Fabric`.  It models:
+
+* **tx serialisation** — the NIC injects one packet at a time; back-to-back
+  sends queue behind ``tx_free_at`` (this produces the "more intensive use
+  of the NIC" contention the paper sees in the concurrent pingpong of
+  Fig. 5);
+* **an rx ring** — delivered packets wait there until a driver poll picks
+  them up.
+
+The NIC is intentionally dumb: all protocol decisions (eager vs rendezvous,
+aggregation) live in the communication library; all host CPU costs are
+charged by the :class:`~repro.net.drivers.base.Driver` generators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.net.model import LinkModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Machine
+
+
+class SimNIC:
+    """One NIC port: tx serialisation state plus an rx ring."""
+
+    def __init__(self, machine: "Machine", model: LinkModel, name: str) -> None:
+        self.machine = machine
+        self.model = model
+        self.name = name
+        self.peer: SimNIC | None = None
+        self.rx_ring: deque[Any] = deque()
+        #: shared message-engine timeline: both tx injections and rx DMA
+        #: completions occupy it (the NIC's message-rate limit)
+        self.engine_free_at: int = 0
+        # counters
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.polls = 0
+        self.empty_polls = 0
+        #: optional observer called as fn(nic, packet) on each delivery
+        self.on_delivery: Callable[["SimNIC", Any], None] | None = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def connect(self, peer: "SimNIC") -> None:
+        """Wire this NIC to ``peer`` (bidirectional, exclusive)."""
+        if self.peer is not None or peer.peer is not None:
+            raise RuntimeError(f"NIC {self.name!r} or {peer.name!r} already wired")
+        if peer is self:
+            raise ValueError("cannot wire a NIC to itself")
+        self.peer = peer
+        peer.peer = self
+
+    # -- transmit ----------------------------------------------------------------
+
+    def inject(self, packet: Any, wire_size: int) -> int:
+        """Start transmitting ``packet``; returns the injection start time.
+
+        Called from driver generators (the host-side overhead has already
+        been charged there).  Transmission begins once the NIC is free,
+        serialises for ``wire_size * G`` and is delivered to the peer's rx
+        ring a wire latency later.
+        """
+        if self.peer is None:
+            raise RuntimeError(f"NIC {self.name!r} is not wired to a peer")
+        if wire_size < 0:
+            raise ValueError(f"wire_size must be >= 0, got {wire_size}")
+        engine = self.machine.engine
+        start = max(engine.now, self.engine_free_at)
+        # the message leaves the NIC once the engine has processed it:
+        # max(serialisation, per-message firmware/DMA gap) — for small
+        # messages the gap dominates both occupancy and latency, which is
+        # why a NIC near its message rate also hurts latency (Fig. 5)
+        depart = (
+            start
+            + self.model.tx_occupancy_ns(wire_size)
+            + self.machine.jitter(f"nic-tx:{self.name}")
+        )
+        self.engine_free_at = depart
+        self.tx_packets += 1
+        self.tx_bytes += wire_size
+        arrive = depart + self.model.wire_latency_ns
+        engine.schedule_at(arrive, self.peer._deliver, packet, wire_size)
+        return start
+
+    @property
+    def tx_idle(self) -> bool:
+        """True when the NIC could inject immediately."""
+        return self.machine.engine.now >= self.engine_free_at
+
+    # -- receive -----------------------------------------------------------------
+
+    def _deliver(self, packet: Any, wire_size: int) -> None:
+        """Wire arrival: the rx DMA occupies the message engine for the rx
+        gap, after which the packet becomes pollable."""
+        engine = self.machine.engine
+        ready = (
+            max(engine.now, self.engine_free_at)
+            + self.model.min_rx_gap_ns
+            + self.machine.jitter(f"nic-rx:{self.name}")
+        )
+        self.engine_free_at = ready
+        self.rx_bytes += wire_size
+        if ready > engine.now:
+            engine.schedule_at(ready, self._rx_complete, packet)
+        else:
+            self._rx_complete(packet)
+
+    def _rx_complete(self, packet: Any) -> None:
+        if hasattr(packet, "arrived_at"):
+            packet.arrived_at = self.machine.engine.now
+        self.rx_ring.append(packet)
+        self.rx_packets += 1
+        if self.on_delivery is not None:
+            self.on_delivery(self, packet)
+        # packets waiting in the ring are progress work: nudge idle pollers
+        self.machine.scheduler.poke_idle()
+
+    def rx_pop(self) -> Any | None:
+        """Take the oldest delivered packet, or None (cost charged by the
+        polling driver)."""
+        self.polls += 1
+        if self.rx_ring:
+            return self.rx_ring.popleft()
+        self.empty_polls += 1
+        return None
+
+    @property
+    def rx_pending(self) -> int:
+        return len(self.rx_ring)
+
+    def __repr__(self) -> str:
+        wired = self.peer.name if self.peer else None
+        return f"<SimNIC {self.name!r} model={self.model.name} peer={wired!r}>"

@@ -1,0 +1,21 @@
+"""PIOMan: I/O event manager + scheduler integration + submission offload."""
+
+from repro.pioman.integration import attach_pioman
+from repro.pioman.manager import PIOMan
+from repro.pioman.offload import (
+    IdleCoreSubmit,
+    InlineSubmit,
+    SubmitOffload,
+    TaskletSubmit,
+    set_offload,
+)
+
+__all__ = [
+    "attach_pioman",
+    "PIOMan",
+    "IdleCoreSubmit",
+    "InlineSubmit",
+    "SubmitOffload",
+    "TaskletSubmit",
+    "set_offload",
+]

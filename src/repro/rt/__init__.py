@@ -1,0 +1,51 @@
+"""Live (real-thread) mini communication engine.
+
+The simulated stack in :mod:`repro.core` reproduces the paper's numbers by
+construction; this package lets the same locking-policy comparison run
+*for real* on the host — Python threads, real locks, an in-process
+loopback link — as ablation A3.  GIL caveats apply: absolute numbers are
+Python's, but the relative lock-path costs are genuinely measured.
+"""
+
+from repro.rt.channel import LoopbackLink
+from repro.rt.engine import (
+    ProgressionThread,
+    RTLibrary,
+    RTMessage,
+    RTRequest,
+    build_rt_pair,
+    rt_lock_overhead_ns,
+    rt_pingpong,
+)
+from repro.rt.locks import (
+    InstrumentedLock,
+    NullRTLock,
+    RTCoarseLocking,
+    RTFineLocking,
+    RTLockingPolicy,
+    RTNoLocking,
+    make_rt_policy,
+)
+from repro.rt.timing import now_ns, spin_until, time_call_ns, timer_overhead_ns
+
+__all__ = [
+    "LoopbackLink",
+    "ProgressionThread",
+    "RTLibrary",
+    "RTMessage",
+    "RTRequest",
+    "build_rt_pair",
+    "rt_lock_overhead_ns",
+    "rt_pingpong",
+    "InstrumentedLock",
+    "NullRTLock",
+    "RTCoarseLocking",
+    "RTFineLocking",
+    "RTLockingPolicy",
+    "RTNoLocking",
+    "make_rt_policy",
+    "now_ns",
+    "spin_until",
+    "time_call_ns",
+    "timer_overhead_ns",
+]

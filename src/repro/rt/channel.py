@@ -1,0 +1,81 @@
+"""In-process loopback links for the live engine.
+
+A :class:`LoopbackLink` is a pair of one-directional queues ("wires")
+between two endpoints.  An optional emulated wire latency gates message
+visibility: a message enqueued at *t* can be popped only after
+*t + latency* — enough to exercise the same poll-until-arrival code path
+as a real network without sockets (and deterministic under load).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro.rt.timing import now_ns
+
+
+class _Wire:
+    """One direction: thread-safe timestamped FIFO."""
+
+    def __init__(self, latency_ns: int) -> None:
+        self.latency_ns = latency_ns
+        self._items: deque[tuple[int, Any]] = deque()
+        self._lock = threading.Lock()
+        self.pushed = 0
+        self.popped = 0
+
+    def push(self, item: Any) -> None:
+        with self._lock:
+            self._items.append((now_ns() + self.latency_ns, item))
+            self.pushed += 1
+
+    def pop(self) -> Any | None:
+        """The oldest *visible* message, or None."""
+        with self._lock:
+            if not self._items:
+                return None
+            ready_at, item = self._items[0]
+            if now_ns() < ready_at:
+                return None
+            self._items.popleft()
+            self.popped += 1
+            return item
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+class LoopbackLink:
+    """Bidirectional link between endpoints 0 and 1."""
+
+    def __init__(self, latency_ns: int = 0) -> None:
+        if latency_ns < 0:
+            raise ValueError("latency_ns must be >= 0")
+        self._wires = (_Wire(latency_ns), _Wire(latency_ns))
+
+    def send(self, from_endpoint: int, item: Any) -> None:
+        """Push ``item`` toward the other endpoint."""
+        self._check(from_endpoint)
+        self._wires[from_endpoint].push(item)
+
+    def poll(self, endpoint: int) -> Any | None:
+        """Pop the oldest visible message addressed to ``endpoint``."""
+        self._check(endpoint)
+        return self._wires[1 - endpoint].pop()
+
+    def pending(self, endpoint: int) -> int:
+        self._check(endpoint)
+        return self._wires[1 - endpoint].pending
+
+    @staticmethod
+    def _check(endpoint: int) -> None:
+        if endpoint not in (0, 1):
+            raise ValueError(f"endpoint must be 0 or 1, got {endpoint}")
+
+    @property
+    def traffic(self) -> int:
+        return self._wires[0].pushed + self._wires[1].pushed

@@ -1,0 +1,266 @@
+"""A miniature live NewMadeleine over real Python threads.
+
+Same three-layer skeleton as :mod:`repro.core` — collect list, transmit,
+receive-side matching with an unexpected queue — but running on actual
+:mod:`threading` primitives over an in-process loopback link.  Its purpose
+is ablation A3: measuring the *real* cost of the coarse/fine/no-locking
+policies on the host, GIL and all, next to the calibrated simulation.
+
+Only the eager protocol is implemented (sends complete at transmission);
+the live engine is an instrument for lock-path costs, not a second full
+library.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.rt.channel import LoopbackLink
+from repro.rt.locks import RTLockingPolicy, make_rt_policy
+from repro.rt.timing import now_ns
+
+_seq = itertools.count(1)
+
+
+@dataclass
+class RTMessage:
+    """Wire unit of the live engine."""
+
+    tag: int
+    size: int
+    payload: Any = None
+    seq: int = field(default_factory=lambda: next(_seq))
+
+
+class RTRequest:
+    """Completion handle (Event-backed for passive waiting)."""
+
+    def __init__(self, tag: int, size: int) -> None:
+        self.tag = tag
+        self.size = size
+        self.payload: Any = None
+        self._event = threading.Event()
+        self.completed_at_ns: int | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def _complete(self, payload: Any) -> None:
+        self.payload = payload
+        self.completed_at_ns = now_ns()
+        self._event.set()
+
+    def wait_event(self, timeout_s: float | None = None) -> bool:
+        return self._event.wait(timeout_s)
+
+
+class RTLibrary:
+    """One endpoint's library instance."""
+
+    def __init__(
+        self,
+        link: LoopbackLink,
+        endpoint: int,
+        policy: str | RTLockingPolicy = "none",
+    ) -> None:
+        self.link = link
+        self.endpoint = endpoint
+        self.policy = make_rt_policy(policy) if isinstance(policy, str) else policy
+        self._collect: deque[RTMessage] = deque()
+        self._posted: deque[RTRequest] = deque()
+        self._unexpected: deque[RTMessage] = deque()
+        self.sent = 0
+        self.received = 0
+        self.unexpected_hits = 0
+
+    # -- send ------------------------------------------------------------------
+
+    def isend(self, tag: int, size: int, payload: Any = None) -> RTRequest:
+        """Submit and transmit (eager): one send-section entry, collect
+        deposit, tx flush — the same lock points as the simulated library."""
+        req = RTRequest(tag, size)
+        with self.policy.send_section():
+            with self.policy.collect_lock():
+                self._collect.append(RTMessage(tag, size, payload))
+            with self.policy.tx_lock():
+                while self._collect:
+                    msg = self._collect.popleft()
+                    self.link.send(self.endpoint, msg)
+                    self.sent += 1
+        req._complete(payload)  # eager: locally complete at injection
+        return req
+
+    # -- receive -----------------------------------------------------------------
+
+    def irecv(self, tag: int) -> RTRequest:
+        req = RTRequest(tag, 0)
+        with self.policy.rx_lock():
+            for msg in list(self._unexpected):
+                if msg.tag == tag:
+                    self._unexpected.remove(msg)
+                    self.unexpected_hits += 1
+                    req.size = msg.size
+                    req._complete(msg.payload)
+                    return req
+            self._posted.append(req)
+        return req
+
+    def progress(self) -> bool:
+        """One pass: poll the link, match or stash.  Returns True on work."""
+        with self.policy.rx_lock():
+            msg = self.link.poll(self.endpoint)
+            if msg is None:
+                return False
+            self.received += 1
+            for req in self._posted:
+                if req.tag == msg.tag:
+                    self._posted.remove(req)
+                    req.size = msg.size
+                    req._complete(msg.payload)
+                    return True
+            self._unexpected.append(msg)
+            return True
+
+    # -- waiting -------------------------------------------------------------------
+
+    def wait(self, req: RTRequest, *, mode: str = "busy", timeout_s: float = 30.0) -> None:
+        """``busy``: drive progress; ``passive``: block on the event (a
+        progression thread must exist); ``fixed``: spin briefly, then block."""
+        if mode == "busy":
+            import time
+
+            deadline = now_ns() + int(timeout_s * 1e9)
+            while not req.done:
+                if not self.progress():
+                    # yield the GIL between empty polls, or the peer's
+                    # thread only runs every switch interval (~5 ms)
+                    time.sleep(0)
+                if now_ns() > deadline:
+                    raise TimeoutError(f"wait timed out after {timeout_s}s")
+            return
+        if mode == "passive":
+            if not req.wait_event(timeout_s):
+                raise TimeoutError(f"wait timed out after {timeout_s}s")
+            return
+        if mode == "fixed":
+            spin_deadline = now_ns() + 5_000  # the paper's 5 us window
+            while now_ns() < spin_deadline:
+                if req.done:
+                    return
+                self.progress()
+            if not req.wait_event(timeout_s):
+                raise TimeoutError(f"wait timed out after {timeout_s}s")
+            return
+        raise ValueError(f"unknown wait mode {mode!r}")
+
+
+class ProgressionThread:
+    """A background thread polling a library — live PIOMan."""
+
+    def __init__(self, lib: RTLibrary, name: str = "rt-pioman") -> None:
+        self.lib = lib
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self.passes = 0
+
+    def start(self) -> "ProgressionThread":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        import time
+
+        while not self._stop.is_set():
+            worked = self.lib.progress()
+            self.passes += 1
+            if not worked:
+                time.sleep(0)  # yield the GIL between empty passes
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=10)
+        if self._thread.is_alive():  # pragma: no cover - watchdog
+            raise RuntimeError("progression thread failed to stop")
+
+
+def build_rt_pair(
+    policy: str = "none", *, wire_latency_ns: int = 0
+) -> tuple[RTLibrary, RTLibrary]:
+    """Two live libraries over one loopback link."""
+    link = LoopbackLink(latency_ns=wire_latency_ns)
+    return RTLibrary(link, 0, policy), RTLibrary(link, 1, policy)
+
+
+def rt_pingpong(
+    policy: str = "none",
+    *,
+    iterations: int = 200,
+    size: int = 8,
+    mode: str = "busy",
+    wire_latency_ns: int = 0,
+    warmup: int = 20,
+) -> list[int]:
+    """Live pingpong; returns steady-state per-iteration RTTs in ns.
+
+    The echo side runs in a real thread; with ``mode="passive"`` each side
+    also gets a progression thread, like PIOMan.
+    """
+    if iterations <= warmup:
+        raise ValueError("iterations must exceed warmup")
+    lib_a, lib_b = build_rt_pair(policy, wire_latency_ns=wire_latency_ns)
+    stop = threading.Event()
+    progressions: list[ProgressionThread] = []
+    if mode in ("passive", "fixed"):
+        progressions = [ProgressionThread(lib_a).start(), ProgressionThread(lib_b).start()]
+
+    def echo() -> None:
+        for i in range(iterations):
+            if stop.is_set():
+                return
+            rreq = lib_b.irecv(tag=i)
+            lib_b.wait(rreq, mode=mode)
+            lib_b.isend(tag=i, size=size, payload=rreq.payload)
+
+    echo_thread = threading.Thread(target=echo, name="rt-echo", daemon=True)
+    echo_thread.start()
+    rtts: list[int] = []
+    try:
+        for i in range(iterations):
+            t0 = now_ns()
+            rreq = lib_a.irecv(tag=i)
+            lib_a.isend(tag=i, size=size, payload=i)
+            lib_a.wait(rreq, mode=mode)
+            rtts.append(now_ns() - t0)
+    finally:
+        stop.set()
+        echo_thread.join(timeout=10)
+        for p in progressions:
+            p.stop()
+    if echo_thread.is_alive():  # pragma: no cover - watchdog
+        raise RuntimeError("echo thread failed to stop")
+    return rtts[warmup:]
+
+
+def rt_lock_overhead_ns(policy: str, *, cycles: int = 20_000) -> float:
+    """Average cost of one send-path lock traversal (all points), live."""
+    if cycles <= 0:
+        raise ValueError("cycles must be > 0")
+    pol = make_rt_policy(policy)
+    t0 = now_ns()
+    for _ in range(cycles):
+        with pol.send_section():
+            with pol.collect_lock():
+                pass
+            with pol.tx_lock():
+                pass
+        with pol.rx_lock():
+            pass
+    return (now_ns() - t0) / cycles
+
+
+MeasureFn = Callable[[str], float]

@@ -1,0 +1,171 @@
+"""Instrumented real locks and the three locking policies, live.
+
+Mirrors :mod:`repro.core.locking` with actual :class:`threading.Lock`
+objects so the paper's coarse/fine/no-locking comparison can also be run
+on the host machine (GIL-bound, but the relative ordering of lock-path
+costs is measurable).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class InstrumentedLock:
+    """A real lock that counts acquisitions and contentions."""
+
+    is_null = False
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def acquire(self) -> None:
+        # try-fast-path first so contention is observable
+        if not self._lock.acquire(blocking=False):
+            self.contentions += 1
+            self._lock.acquire()
+        self.acquisitions += 1
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<InstrumentedLock {self.name!r} acq={self.acquisitions}>"
+
+
+class NullRTLock:
+    """The no-locking baseline: context-manager compatible, free."""
+
+    is_null = True
+
+    def __init__(self, name: str = "null") -> None:
+        self.name = name
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def acquire(self) -> None:
+        return None
+
+    def release(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullRTLock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+class RTLockingPolicy:
+    """Live equivalent of :class:`repro.core.locking.LockingPolicy`."""
+
+    name = "abstract"
+
+    def send_section(self):
+        raise NotImplementedError
+
+    def collect_lock(self):
+        raise NotImplementedError
+
+    def tx_lock(self):
+        raise NotImplementedError
+
+    def rx_lock(self):
+        raise NotImplementedError
+
+    def lock_objects(self) -> list:
+        raise NotImplementedError
+
+
+class RTNoLocking(RTLockingPolicy):
+    name = "none"
+
+    def __init__(self) -> None:
+        self._null = NullRTLock()
+
+    def send_section(self):
+        return self._null
+
+    def collect_lock(self):
+        return self._null
+
+    def tx_lock(self):
+        return self._null
+
+    def rx_lock(self):
+        return self._null
+
+    def lock_objects(self) -> list:
+        return []
+
+
+class RTCoarseLocking(RTLockingPolicy):
+    """One library-wide lock; inner points covered."""
+
+    name = "coarse"
+
+    def __init__(self) -> None:
+        self.library_lock = InstrumentedLock("rt-library")
+        self._null = NullRTLock("covered")
+
+    def send_section(self):
+        return self.library_lock
+
+    def collect_lock(self):
+        return self._null
+
+    def tx_lock(self):
+        return self._null
+
+    def rx_lock(self):
+        return self.library_lock
+
+    def lock_objects(self) -> list:
+        return [self.library_lock]
+
+
+class RTFineLocking(RTLockingPolicy):
+    """Separate collect/tx/rx locks."""
+
+    name = "fine"
+
+    def __init__(self) -> None:
+        self._collect = InstrumentedLock("rt-collect")
+        self._tx = InstrumentedLock("rt-tx")
+        self._rx = InstrumentedLock("rt-rx")
+        self._null = NullRTLock("no-outer")
+
+    def send_section(self):
+        return self._null
+
+    def collect_lock(self):
+        return self._collect
+
+    def tx_lock(self):
+        return self._tx
+
+    def rx_lock(self):
+        return self._rx
+
+    def lock_objects(self) -> list:
+        return [self._collect, self._tx, self._rx]
+
+
+def make_rt_policy(name: str) -> RTLockingPolicy:
+    if name == "none":
+        return RTNoLocking()
+    if name == "coarse":
+        return RTCoarseLocking()
+    if name == "fine":
+        return RTFineLocking()
+    raise ValueError(f"unknown policy {name!r}; choose none/coarse/fine")

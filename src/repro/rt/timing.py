@@ -1,0 +1,50 @@
+"""Wall-clock timing helpers for the live (real-thread) engine.
+
+Everything here uses ``time.perf_counter_ns``; the measurement loop
+follows the guide's advice — measure, don't guess — and reports the timer
+overhead so callers can judge resolution.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def now_ns() -> int:
+    return time.perf_counter_ns()
+
+
+def timer_overhead_ns(samples: int = 1000) -> float:
+    """Median cost of one timestamp pair (the measurement floor)."""
+    if samples <= 0:
+        raise ValueError("samples must be > 0")
+    costs = []
+    for _ in range(samples):
+        t0 = time.perf_counter_ns()
+        t1 = time.perf_counter_ns()
+        costs.append(t1 - t0)
+    costs.sort()
+    return float(costs[len(costs) // 2])
+
+
+def time_call_ns(fn: Callable[[], None], repeats: int = 100) -> list[int]:
+    """Per-call wall-clock samples of ``fn`` (ns)."""
+    if repeats <= 0:
+        raise ValueError("repeats must be > 0")
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        fn()
+        samples.append(time.perf_counter_ns() - t0)
+    return samples
+
+
+def spin_until(predicate: Callable[[], bool], timeout_s: float = 10.0) -> bool:
+    """Busy-wait (with GIL-release hints) until ``predicate`` or timeout."""
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0)  # yield the GIL
+    return True

@@ -1,0 +1,95 @@
+"""Calibrated costs of the simulated machine and thread scheduler.
+
+These constants model the host-side mechanisms whose prices the paper
+measures (§3): spinlock cycles, blocking-primitive context switches, the
+tasklet protocol.  The defaults are calibrated against the values the paper
+reports on the quad-core Xeon X5460 testbed:
+
+* a spinlock acquire/release cycle costs 70 ns (§3.1: "each acquire/release
+  cycle costs 70 ns") — split 35/35 here;
+* a semaphore-based wait adds 750 ns of context switching (§3.3, Fig. 7) —
+  one switch away from the blocking thread plus one switch back, 375 ns each;
+* offloading via tasklets adds ~2 µs, of which 400 ns is the inter-core
+  cache transfer (§4.2, Fig. 9) — the remaining 1.6 µs is the tasklet
+  scheduling/locking protocol, split between schedule and invoke below.
+
+The network-facing costs live in :mod:`repro.core.costmodel`; this module is
+strictly about the machine substrate so that :mod:`repro.sim` stays
+independent of the communication library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SimCosts:
+    """All nanosecond prices charged by the machine/scheduler substrate."""
+
+    # -- spinlocks (paper §3.1) ---------------------------------------------
+    spin_acquire_ns: int = 35
+    spin_release_ns: int = 35
+    #: extra delay between a release and a spinning thread obtaining the lock
+    spin_handoff_ns: int = 10
+
+    # -- blocking primitives (paper §3.3) -------------------------------------
+    #: one context switch (half of the 750 ns semaphore round trip)
+    ctx_switch_ns: int = 375
+    #: scheduler wake-up path of a *blocked* thread: run-queue insertion,
+    #: priority recalculation, cache warm-up of the restored context.
+    #: Together with the dispatch context switch this is the part of the
+    #: semaphore round trip that sits on the waiter's critical path
+    #: (the switch *into* the idle loop overlaps the message flight)
+    wake_latency_ns: int = 375
+    #: fast path of a semaphore/condition operation (no blocking)
+    sem_fast_ns: int = 25
+
+    # -- idle loop / hooks ------------------------------------------------------
+    #: pause between idle-loop hook passes when hooks found nothing to do
+    idle_tick_ns: int = 200
+    #: bookkeeping charged per idle-loop pass before hooks run
+    idle_loop_ns: int = 20
+
+    # -- timer interrupts ---------------------------------------------------------
+    timer_period_ns: int = 1_000_000  # Linux-2.6-ish 1 kHz tick
+    timer_overhead_ns: int = 300
+
+    # -- tasklets (paper §4.2) -----------------------------------------------------
+    tasklet_schedule_ns: int = 600
+    tasklet_invoke_ns: int = 1_000
+
+    # -- thread management -----------------------------------------------------------
+    spawn_ns: int = 500
+
+    def scaled(self, factor: float) -> "SimCosts":
+        """A copy with every cost multiplied by ``factor`` (for sensitivity
+        studies).  Periods (timer) are left unchanged."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        fields = (
+            "spin_acquire_ns",
+            "spin_release_ns",
+            "spin_handoff_ns",
+            "ctx_switch_ns",
+            "wake_latency_ns",
+            "sem_fast_ns",
+            "idle_tick_ns",
+            "idle_loop_ns",
+            "timer_overhead_ns",
+            "tasklet_schedule_ns",
+            "tasklet_invoke_ns",
+            "spawn_ns",
+        )
+        return replace(self, **{f: int(round(getattr(self, f) * factor)) for f in fields})
+
+    @property
+    def spin_cycle_ns(self) -> int:
+        """Full acquire+release price of an uncontended spinlock cycle."""
+        return self.spin_acquire_ns + self.spin_release_ns
+
+    @property
+    def block_roundtrip_ns(self) -> int:
+        """On-path price of blocking and being woken (paper: 750 ns):
+        the wake-up path plus the dispatch context switch."""
+        return self.wake_latency_ns + self.ctx_switch_ns

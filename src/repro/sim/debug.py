@@ -1,0 +1,98 @@
+"""Scheduler/machine invariant checking (debugging aid).
+
+:func:`check_invariants` audits a machine's bookkeeping for internal
+consistency; tests call it after scenarios (and it is cheap enough to call
+inside long-running ones).  Violations raise :class:`InvariantViolation`
+with a precise description rather than surfacing later as a confusing
+downstream failure.
+"""
+
+from __future__ import annotations
+
+from repro.sim.machine import Machine
+from repro.sim.process import ThreadState
+
+
+class InvariantViolation(AssertionError):
+    """A machine's internal bookkeeping is inconsistent."""
+
+
+def check_invariants(machine: Machine) -> None:
+    """Audit one machine; raises :class:`InvariantViolation` on failure."""
+    seen_current: dict[int, str] = {}
+    for core in machine.cores:
+        current = core.current
+        if current is not None:
+            if current.placed_on != core.index:
+                raise InvariantViolation(
+                    f"{current!r} is current on core {core.index} but "
+                    f"placed_on={current.placed_on}"
+                )
+            if current.state not in (ThreadState.RUNNING, ThreadState.SPINNING):
+                raise InvariantViolation(
+                    f"{current!r} occupies core {core.index} in state "
+                    f"{current.state.value}"
+                )
+            if current.tid in seen_current:
+                raise InvariantViolation(
+                    f"{current!r} is current on two cores: "
+                    f"{seen_current[current.tid]} and {core.index}"
+                )
+            seen_current[current.tid] = str(core.index)
+        for thread in core.runq:
+            if thread.state is not ThreadState.READY:
+                raise InvariantViolation(
+                    f"{thread!r} queued on core {core.index} in state "
+                    f"{thread.state.value}"
+                )
+            if thread is current:
+                raise InvariantViolation(
+                    f"{thread!r} is simultaneously current and queued on "
+                    f"core {core.index}"
+                )
+            if thread.bound and thread.core is not None and thread.core != core.index:
+                raise InvariantViolation(
+                    f"bound {thread!r} queued on core {core.index}, not its "
+                    f"core {thread.core}"
+                )
+        idle = core.idle_thread
+        if idle is not None and not idle.is_idle:
+            raise InvariantViolation(f"core {core.index} idle slot holds {idle!r}")
+    _check_busy_accounting(machine)
+
+
+def _check_busy_accounting(machine: Machine) -> None:
+    elapsed = machine.engine.now
+    for core in machine.cores:
+        busy = core.busy_ns()
+        if busy > elapsed:
+            raise InvariantViolation(
+                f"core {core.index} accounted {busy} ns busy in {elapsed} ns "
+                f"of simulated time"
+            )
+        for category, ns in core.busy_breakdown().items():
+            if ns < 0:
+                raise InvariantViolation(
+                    f"core {core.index} has negative {category!r} time: {ns}"
+                )
+
+
+def check_lock_invariants(locks) -> None:
+    """Audit lock bookkeeping: owners must be live, spinners must spin."""
+    for lock in locks:
+        owner = lock.owner
+        if owner is not None and getattr(owner, "done", False):
+            raise InvariantViolation(
+                f"{lock!r} owned by finished thread {owner!r}"
+            )
+        for spinner in lock.spinners:
+            if spinner.state is not ThreadState.SPINNING:
+                raise InvariantViolation(
+                    f"{spinner!r} queued as spinner of {lock!r} in state "
+                    f"{spinner.state.value}"
+                )
+        if lock.contentions > lock.acquisitions + len(lock.spinners):
+            raise InvariantViolation(
+                f"{lock!r}: more contentions ({lock.contentions}) than "
+                f"acquisition attempts"
+            )

@@ -1,0 +1,140 @@
+"""The discrete-event core: an integer-nanosecond clock and an event queue.
+
+Everything above (scheduler, NICs, timers) is expressed as callbacks
+scheduled on a single :class:`Engine`.  Two simulated *nodes* of a cluster
+share one engine — they share a clock, exactly like two real machines share
+wall-clock time — while each node has its own :class:`~repro.sim.machine.Machine`.
+
+Determinism: ties at equal timestamps are broken by insertion order, so a
+given program always produces the same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.sim.errors import SimDeadlock, SimTimeLimit
+
+
+class EventHandle:
+    """Cancellation token for a scheduled event."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; safe after firing."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<EventHandle t={self.time} {name} {state}>"
+
+
+class Engine:
+    """Discrete-event loop with an integer nanosecond clock."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[EventHandle] = []
+        self._seq = 0
+        self._events_run = 0
+        self._running = False
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay_ns`` from now."""
+        delay_ns = int(delay_ns)
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule in the past: delay {delay_ns}")
+        return self.schedule_at(self.now + delay_ns, fn, *args)
+
+    def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
+        time_ns = int(time_ns)
+        if time_ns < self.now:
+            raise ValueError(f"cannot schedule in the past: t={time_ns} < now={self.now}")
+        handle = EventHandle(time_ns, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def pending(self) -> int:
+        """Number of queued, not-yet-cancelled events."""
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        *,
+        max_time: int | None = None,
+        max_events: int | None = None,
+    ) -> str:
+        """Process events until a stop condition holds.
+
+        Args:
+            until: optional predicate checked after every event; the loop
+                stops as soon as it returns True.
+            max_time: raise :class:`SimTimeLimit` if the clock would pass
+                this absolute time (safety net against runaway idle loops).
+            max_events: raise :class:`SimTimeLimit` after this many events.
+
+        Returns:
+            ``"until"`` if the predicate stopped the run, ``"drained"`` if
+            the event queue emptied first.
+
+        Raises:
+            SimDeadlock: the queue drained while ``until`` was given and
+                still false — the awaited condition can never happen.
+            SimTimeLimit: a safety limit tripped.
+        """
+        if self._running:
+            raise RuntimeError("Engine.run is not reentrant")
+        if until is not None and until():
+            return "until"
+        self._running = True
+        try:
+            events_this_run = 0
+            while self._queue:
+                handle = heapq.heappop(self._queue)
+                if handle.cancelled:
+                    continue
+                if max_time is not None and handle.time > max_time:
+                    raise SimTimeLimit(
+                        f"simulation exceeded max_time={max_time} ns (now={self.now})"
+                    )
+                if max_events is not None and events_this_run >= max_events:
+                    raise SimTimeLimit(f"simulation exceeded max_events={max_events}")
+                assert handle.time >= self.now, "event queue went backwards"
+                self.now = handle.time
+                self._events_run += 1
+                events_this_run += 1
+                handle.fn(*handle.args)
+                if until is not None and until():
+                    return "until"
+            if until is not None:
+                raise SimDeadlock(
+                    f"event queue drained at t={self.now} ns but the awaited "
+                    f"condition never became true"
+                )
+            return "drained"
+        finally:
+            self._running = False

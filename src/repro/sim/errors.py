@@ -1,0 +1,37 @@
+"""Exception hierarchy for the discrete-event simulator."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class SimDeadlock(SimError):
+    """The simulation can make no further progress.
+
+    Raised when the event queue drains while threads are still blocked, or
+    when a spinlock acquisition can provably never succeed (e.g. the owner
+    is runnable only on the spinning core).
+    """
+
+
+class SimTimeLimit(SimError):
+    """``run`` hit its ``max_time`` / ``max_events`` safety limit."""
+
+
+class SimThreadError(SimError):
+    """A simulated thread raised an exception.
+
+    The original exception is attached as ``__cause__`` and the offending
+    thread as :attr:`thread`.
+    """
+
+    def __init__(self, thread: object, message: str) -> None:
+        super().__init__(message)
+        self.thread = thread
+
+
+class SimProtocolError(SimError):
+    """A simulated thread yielded an invalid effect or misused a primitive
+    (e.g. releasing a lock it does not own)."""

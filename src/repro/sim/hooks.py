@@ -1,0 +1,89 @@
+"""Marcel's scheduler hooks.
+
+The paper (§3.3) describes the key enabler for passive waiting: *"This
+optimization requires modifications of the thread scheduler in order to add
+a few hooks at key points (CPU idleness, context switches, timer
+interrupts). These hooks are used to call PIOMan so as to poll the
+networks."*
+
+Three hook points are modelled:
+
+* **idle hooks** — generator functions ``fn(core)`` run by a core's idle
+  thread with the full effect vocabulary available (they may take spinlocks,
+  signal semaphores, ...).  They return truthy when they performed work.
+* **context-switch hooks** and **timer hooks** — *interrupt-context*
+  generator functions restricted to the inline vocabulary (``Delay``,
+  ``TryAcquire``/``Release``; see :func:`repro.sim.process.run_inline`),
+  because a real scheduler cannot block inside a switch or an interrupt.
+
+*Demand providers* tell idle loops whether frequent polling is currently
+useful (e.g. PIOMan has pending requests); with no demand, idle threads
+park until kicked, which keeps the event count of long simulations low.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.machine import Core
+
+HookFn = Callable[["Core"], Generator[Any, Any, Any]]
+DemandFn = Callable[[], bool]
+
+
+class HookRegistry:
+    """Per-machine registry of scheduler hooks."""
+
+    def __init__(self) -> None:
+        self._idle: list[HookFn] = []
+        self._ctx_switch: list[HookFn] = []
+        self._timer: list[HookFn] = []
+        self._demand: list[DemandFn] = []
+
+    # -- registration ----------------------------------------------------------
+
+    def register_idle(self, fn: HookFn) -> None:
+        self._idle.append(fn)
+
+    def register_ctx_switch(self, fn: HookFn) -> None:
+        self._ctx_switch.append(fn)
+
+    def register_timer(self, fn: HookFn) -> None:
+        self._timer.append(fn)
+
+    def register_demand(self, fn: DemandFn) -> None:
+        self._demand.append(fn)
+
+    def unregister_idle(self, fn: HookFn) -> None:
+        self._idle.remove(fn)
+
+    @property
+    def has_idle_hooks(self) -> bool:
+        return bool(self._idle)
+
+    # -- invocation ---------------------------------------------------------------
+
+    def idle_demand(self) -> bool:
+        """True when some component wants the idle loops to keep polling."""
+        return any(fn() for fn in self._demand)
+
+    def run_idle(self, core: "Core") -> Generator[Any, Any, bool]:
+        """Run every idle hook once (full effect context).
+
+        Returns True if any hook reports having done work.
+        """
+        ran = False
+        for fn in list(self._idle):
+            result = yield from fn(core)
+            ran = ran or bool(result)
+        return ran
+
+    def inline_hooks(self, kind: str) -> list[HookFn]:
+        """The interrupt-context hooks of the given kind
+        (``"ctx_switch"`` or ``"timer"``)."""
+        if kind == "ctx_switch":
+            return list(self._ctx_switch)
+        if kind == "timer":
+            return list(self._timer)
+        raise ValueError(f"unknown inline hook kind {kind!r}")

@@ -1,0 +1,152 @@
+"""Cache topologies and inter-core transfer costs.
+
+Section 4.1 of the paper shows that the cost of delegating polling to
+another core is a function of *cache distance*: free on the same core,
++400 ns across a shared L2, +1.2 µs across caches on the quad-core Xeon
+X5460, and +400 ns / +2.3 µs / +3.1 µs on the dual quad-core machine.
+A :class:`CacheTopology` captures exactly that function.
+
+The Xeon X5460 ("Harpertown"-class) is a quad-core built from two dual-core
+dies: cores {0,1} share an L2 and cores {2,3} share an L2, matching the
+paper's observation that CPU 1 shares a cache with CPU 0 while CPUs 2-3 do
+not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheTopology:
+    """Hierarchy of cores → shared-L2 groups → chips, with transfer costs.
+
+    Attributes:
+        name: human-readable identifier.
+        l2_groups: partition of core indices into shared-L2 sets.
+        chips: partition of core indices into packages.
+        same_core_ns / shared_l2_ns / same_chip_ns / cross_chip_ns:
+            cache-line (completion-notification) transfer cost between two
+            cores at that distance.
+    """
+
+    name: str
+    l2_groups: tuple[tuple[int, ...], ...]
+    chips: tuple[tuple[int, ...], ...]
+    same_core_ns: int = 0
+    shared_l2_ns: int = 400
+    same_chip_ns: int = 1_200
+    cross_chip_ns: int = 3_100
+    _l2_of: dict[int, int] = field(init=False, repr=False, compare=False, default_factory=dict)
+    _chip_of: dict[int, int] = field(init=False, repr=False, compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for gi, group in enumerate(self.l2_groups):
+            for c in group:
+                if c in self._l2_of:
+                    raise ValueError(f"core {c} appears in two L2 groups")
+                self._l2_of[c] = gi
+        for pi, chip in enumerate(self.chips):
+            for c in chip:
+                if c in self._chip_of:
+                    raise ValueError(f"core {c} appears in two chips")
+                self._chip_of[c] = pi
+        if set(self._l2_of) != set(self._chip_of):
+            raise ValueError("l2_groups and chips must cover the same cores")
+        if set(self._l2_of) != set(range(self.ncores)):
+            raise ValueError("core indices must be contiguous from 0")
+        for group in self.l2_groups:
+            chips = {self._chip_of[c] for c in group}
+            if len(chips) > 1:
+                raise ValueError(f"L2 group {group} spans chips {chips}")
+
+    @property
+    def ncores(self) -> int:
+        return len(self._l2_of)
+
+    def _check(self, core: int) -> None:
+        if core not in self._l2_of:
+            raise ValueError(f"no such core: {core} (topology {self.name!r} has {self.ncores})")
+
+    def shares_l2(self, a: int, b: int) -> bool:
+        self._check(a)
+        self._check(b)
+        return self._l2_of[a] == self._l2_of[b]
+
+    def same_chip(self, a: int, b: int) -> bool:
+        self._check(a)
+        self._check(b)
+        return self._chip_of[a] == self._chip_of[b]
+
+    def distance(self, a: int, b: int) -> str:
+        """Symbolic cache distance: ``same-core`` | ``shared-l2`` |
+        ``same-chip`` | ``cross-chip``."""
+        if a == b:
+            self._check(a)
+            return "same-core"
+        if self.shares_l2(a, b):
+            return "shared-l2"
+        if self.same_chip(a, b):
+            return "same-chip"
+        return "cross-chip"
+
+    def transfer_ns(self, a: int, b: int) -> int:
+        """Cost of moving a completion notification from core ``a`` to ``b``."""
+        return {
+            "same-core": self.same_core_ns,
+            "shared-l2": self.shared_l2_ns,
+            "same-chip": self.same_chip_ns,
+            "cross-chip": self.cross_chip_ns,
+        }[self.distance(a, b)]
+
+
+def single_core() -> CacheTopology:
+    """One core — the degenerate machine used in unit tests."""
+    return CacheTopology("single-core", ((0,),), ((0,),))
+
+
+def quad_xeon_x5460() -> CacheTopology:
+    """The paper's main testbed node: quad-core 3.16 GHz Xeon X5460.
+
+    Two dual-core dies; polling from the shared-L2 sibling costs +400 ns and
+    from the other die +1.2 µs (paper §4.1, Fig. 8).
+    """
+    return CacheTopology(
+        "quad-xeon-x5460",
+        l2_groups=((0, 1), (2, 3)),
+        chips=((0, 1, 2, 3),),
+        shared_l2_ns=400,
+        same_chip_ns=1_200,
+        cross_chip_ns=3_100,  # unreachable on one chip; kept for uniformity
+    )
+
+
+def dual_quad_xeon() -> CacheTopology:
+    """The paper's dual quad-core Xeon node (§4.1, in-text results).
+
+    Shared cache +400 ns, same chip / separate cache +2.3 µs, other chip
+    +3.1 µs.
+    """
+    return CacheTopology(
+        "dual-quad-xeon",
+        l2_groups=((0, 1), (2, 3), (4, 5), (6, 7)),
+        chips=((0, 1, 2, 3), (4, 5, 6, 7)),
+        shared_l2_ns=400,
+        same_chip_ns=2_300,
+        cross_chip_ns=3_100,
+    )
+
+
+def uniform(ncores: int, transfer_ns: int = 0) -> CacheTopology:
+    """A flat machine where every remote core is the same distance away."""
+    if ncores < 1:
+        raise ValueError(f"ncores must be >= 1, got {ncores}")
+    cores = tuple(range(ncores))
+    return CacheTopology(
+        f"uniform-{ncores}",
+        l2_groups=tuple((c,) for c in cores),
+        chips=(cores,),
+        shared_l2_ns=transfer_ns,
+        same_chip_ns=transfer_ns,
+        cross_chip_ns=transfer_ns,
+    )

@@ -1,0 +1,161 @@
+"""Execution tracing: the profiling instrument behind the analysis.
+
+"We have implemented all presented features in our NewMadeleine
+communication library and we have extensively profiled the code" (paper
+§1).  A :class:`Tracer` attached to a machine records scheduler-level
+events — dispatches, context switches, blocks/wakes, spin episodes —
+with zero overhead when absent (the scheduler guards every hook with a
+single ``if``).
+
+Typical use::
+
+    tracer = Tracer()
+    machine.attach_tracer(tracer)
+    ... run the workload ...
+    print(tracer.summary_table())
+    for line in tracer.dump(limit=50):
+        print(line)
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable, TYPE_CHECKING
+
+from repro.util.tables import render_table
+from repro.util.units import format_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import SimThread
+
+#: recorded event kinds
+KINDS = (
+    "dispatch",  # a thread starts running on a core
+    "switch",  # dispatch that changed threads (context switch charged)
+    "retire",  # thread finished
+    "block",  # thread descheduled waiting for a wake
+    "wake",  # blocked thread made runnable
+    "sleep",  # timed/untimed sleep
+    "kick",  # sleep interrupted
+    "spin-begin",  # lock found held; active spinning starts
+    "spin-end",  # contended lock granted
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded scheduler event."""
+
+    time: int
+    kind: str
+    thread: str
+    core: int | None
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f"core{self.core}" if self.core is not None else "-"
+        text = f"{self.time:>12} ns  {where:>6}  {self.kind:<10} {self.thread}"
+        if self.detail:
+            text += f"  ({self.detail})"
+        return text
+
+
+class Tracer:
+    """Bounded in-memory event recorder."""
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        if max_events <= 0:
+            raise ValueError("max_events must be > 0")
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def record(
+        self,
+        time: int,
+        kind: str,
+        thread: "SimThread",
+        core: int | None,
+        detail: str = "",
+    ) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown trace kind {kind!r}")
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, kind, thread.name, core, detail))
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def of_thread(self, name: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.thread == name]
+
+    def between(self, start_ns: int, end_ns: int) -> list[TraceEvent]:
+        return [e for e in self.events if start_ns <= e.time < end_ns]
+
+    def spin_episodes(self) -> list[tuple[str, int, int]]:
+        """(thread, start, duration) of every completed spin episode."""
+        open_spins: dict[str, int] = {}
+        episodes: list[tuple[str, int, int]] = []
+        for event in self.events:
+            if event.kind == "spin-begin":
+                open_spins[event.thread] = event.time
+            elif event.kind == "spin-end":
+                start = open_spins.pop(event.thread, None)
+                if start is not None:
+                    episodes.append((event.thread, start, event.time - start))
+        return episodes
+
+    def block_latencies(self) -> list[tuple[str, int]]:
+        """(thread, block-to-wake time) pairs."""
+        blocked_at: dict[str, int] = {}
+        out: list[tuple[str, int]] = []
+        for event in self.events:
+            if event.kind == "block":
+                blocked_at[event.thread] = event.time
+            elif event.kind == "wake":
+                start = blocked_at.pop(event.thread, None)
+                if start is not None:
+                    out.append((event.thread, event.time - start))
+        return out
+
+    # -- reports ------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        return dict(Counter(e.kind for e in self.events))
+
+    def summary_table(self) -> str:
+        """Per-thread event summary."""
+        per_thread: dict[str, Counter] = defaultdict(Counter)
+        for event in self.events:
+            per_thread[event.thread][event.kind] += 1
+        headers = ["thread", "dispatches", "switches", "blocks", "spins"]
+        rows = []
+        for name in sorted(per_thread):
+            c = per_thread[name]
+            rows.append(
+                [name, c["dispatch"], c["switch"], c["block"], c["spin-begin"]]
+            )
+        return render_table(headers, rows, title="Trace summary")
+
+    def dump(self, limit: int | None = None) -> Iterable[str]:
+        events = self.events if limit is None else self.events[:limit]
+        return [e.render() for e in events]
+
+    def spin_time_ns(self) -> int:
+        return sum(d for _, _, d in self.spin_episodes())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer {len(self.events)} events, dropped={self.dropped}, "
+            f"spin={format_ns(self.spin_time_ns())}>"
+        )

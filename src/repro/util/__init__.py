@@ -1,0 +1,47 @@
+"""Shared utilities: units, validation, result records and table rendering.
+
+These helpers are deliberately dependency-free (stdlib + numpy only) and are
+used by every other subpackage.  Nothing in here knows about the simulator or
+the communication library.
+"""
+
+from repro.util.units import (
+    KIB,
+    MIB,
+    US,
+    MS,
+    SEC,
+    format_ns,
+    format_size,
+    ns_to_us,
+    parse_size,
+    us_to_ns,
+)
+from repro.util.validate import (
+    check_in,
+    check_nonneg,
+    check_pos,
+    check_type,
+)
+from repro.util.records import ResultRecord, ResultSet
+from repro.util.tables import render_table
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "US",
+    "MS",
+    "SEC",
+    "format_ns",
+    "format_size",
+    "ns_to_us",
+    "parse_size",
+    "us_to_ns",
+    "check_in",
+    "check_nonneg",
+    "check_pos",
+    "check_type",
+    "ResultRecord",
+    "ResultSet",
+    "render_table",
+]

@@ -1,0 +1,53 @@
+"""Plain ASCII table rendering for benchmark reports.
+
+The benchmark harness prints each figure as a table: one row per message
+size, one column per configuration — the textual equivalent of the paper's
+latency plots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Floats are formatted with ``float_fmt``; other values via ``str``.
+    Columns are right-aligned except the first, which is left-aligned
+    (it usually holds the message-size label).
+    """
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("all rows must have the same arity as headers")
+
+    def fmt(v: Any) -> str:
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(parts: Sequence[str]) -> str:
+        out = []
+        for i, part in enumerate(parts):
+            out.append(part.ljust(widths[i]) if i == 0 else part.rjust(widths[i]))
+        return "  ".join(out)
+
+    sep = "  ".join("-" * w for w in widths)
+    body = [line(headers), sep] + [line(row) for row in cells]
+    if title:
+        body.insert(0, title)
+        body.insert(1, "=" * max(len(title), len(sep)))
+    return "\n".join(body)

@@ -1,0 +1,115 @@
+"""Time and size units.
+
+The whole simulator works on an integer nanosecond clock; benchmarks and the
+paper's figures report microseconds.  Message sizes are plain byte counts but
+are frequently written as ``"1K"``/``"32K"`` in sweep specifications, exactly
+like the x axes of the paper's figures.
+"""
+
+from __future__ import annotations
+
+# -- time constants (in nanoseconds) ---------------------------------------
+
+US = 1_000
+"""Nanoseconds per microsecond."""
+
+MS = 1_000_000
+"""Nanoseconds per millisecond."""
+
+SEC = 1_000_000_000
+"""Nanoseconds per second."""
+
+# -- size constants ---------------------------------------------------------
+
+KIB = 1024
+"""Bytes per kibibyte (the paper's ``1K``)."""
+
+MIB = 1024 * 1024
+"""Bytes per mebibyte."""
+
+_SIZE_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "K": KIB,
+    "KB": KIB,
+    "KIB": KIB,
+    "M": MIB,
+    "MB": MIB,
+    "MIB": MIB,
+}
+
+
+def us_to_ns(us: float) -> int:
+    """Convert microseconds to an integer nanosecond count (rounded)."""
+    return int(round(us * US))
+
+
+def ns_to_us(ns: float) -> float:
+    """Convert nanoseconds to microseconds as a float."""
+    return ns / US
+
+
+def parse_size(spec: int | str) -> int:
+    """Parse a message-size specification into bytes.
+
+    Accepts plain integers, digit strings, and the ``1K`` / ``32K`` / ``4M``
+    shorthand used on the paper's figure axes.  Raises :class:`ValueError`
+    for malformed or negative specifications.
+
+    >>> parse_size("2K")
+    2048
+    >>> parse_size(17)
+    17
+    """
+    if isinstance(spec, bool):  # bool is an int subclass; reject explicitly
+        raise ValueError(f"not a size: {spec!r}")
+    if isinstance(spec, int):
+        if spec < 0:
+            raise ValueError(f"negative size: {spec}")
+        return spec
+    if not isinstance(spec, str):
+        raise ValueError(f"not a size: {spec!r}")
+    text = spec.strip().upper()
+    i = len(text)
+    while i > 0 and not text[i - 1].isdigit():
+        i -= 1
+    digits, suffix = text[:i], text[i:]
+    if not digits or not digits.isdigit():
+        raise ValueError(f"malformed size: {spec!r}")
+    try:
+        mult = _SIZE_SUFFIXES[suffix]
+    except KeyError:
+        raise ValueError(f"unknown size suffix {suffix!r} in {spec!r}") from None
+    return int(digits) * mult
+
+
+def format_size(nbytes: int) -> str:
+    """Format a byte count the way the paper labels its x axes.
+
+    >>> format_size(2048)
+    '2K'
+    >>> format_size(100)
+    '100'
+    """
+    if nbytes >= MIB and nbytes % MIB == 0:
+        return f"{nbytes // MIB}M"
+    if nbytes >= KIB and nbytes % KIB == 0:
+        return f"{nbytes // KIB}K"
+    return str(nbytes)
+
+
+def format_ns(ns: float) -> str:
+    """Human-readable duration: picks ns, µs or ms as appropriate.
+
+    >>> format_ns(140)
+    '140 ns'
+    >>> format_ns(2500)
+    '2.50 us'
+    """
+    if ns < US:
+        return f"{ns:.0f} ns"
+    if ns < MS:
+        return f"{ns / US:.2f} us"
+    if ns < SEC:
+        return f"{ns / MS:.3f} ms"
+    return f"{ns / SEC:.3f} s"

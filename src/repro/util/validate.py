@@ -1,0 +1,45 @@
+"""Tiny argument-validation helpers.
+
+Used at public API boundaries so that misuse fails with a clear message
+instead of a confusing failure deep inside the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> Any:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expect = " or ".join(t.__name__ for t in types)
+        else:
+            expect = types.__name__
+        raise TypeError(f"{name} must be {expect}, got {type(value).__name__}")
+    return value
+
+
+def check_nonneg(name: str, value: int | float) -> int | float:
+    """Raise :class:`ValueError` unless ``value`` is a non-negative number."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_pos(name: str, value: int | float) -> int | float:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    check_nonneg(name, value)
+    if value == 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> Any:
+    """Raise :class:`ValueError` unless ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

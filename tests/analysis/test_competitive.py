@@ -1,0 +1,129 @@
+"""Tests for the Karlin-style competitive-spinning analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.competitive import (
+    balance_threshold_ns,
+    best_threshold,
+    competitive_ratio,
+    evaluate_threshold,
+    offline_optimum_ns,
+    strategy_cost_ns,
+    worst_case_ratio,
+)
+
+C = 750  # the paper's context-switch round trip
+
+
+class TestCostModel:
+    def test_event_inside_window_costs_arrival(self):
+        assert strategy_cost_ns(5_000, 3_000, C) == 3_000
+
+    def test_event_outside_window_costs_spin_plus_switch(self):
+        assert strategy_cost_ns(5_000, 9_000, C) == 5_000 + C
+
+    def test_pure_block(self):
+        assert strategy_cost_ns(0, 9_000, C) == C
+
+    def test_pure_spin(self):
+        assert strategy_cost_ns(10**12, 9_000, C) == 9_000
+
+    def test_optimum(self):
+        assert offline_optimum_ns(300, C) == 300
+        assert offline_optimum_ns(9_000, C) == C
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            strategy_cost_ns(-1, 0, C)
+        with pytest.raises(ValueError):
+            offline_optimum_ns(-1, C)
+        with pytest.raises(ValueError):
+            balance_threshold_ns(0)
+
+
+class TestCompetitiveBound:
+    def test_balance_threshold_is_switch_cost(self):
+        assert balance_threshold_ns(C) == C
+
+    @given(st.integers(0, 10**7))
+    def test_balance_threshold_is_2_competitive(self, arrival):
+        """Karlin: spinning exactly C before blocking is 2-competitive."""
+        ratio = competitive_ratio(C, arrival, C)
+        assert ratio <= 2.0 + 1e-9
+
+    @given(st.integers(0, 10**7), st.integers(1, 10**6))
+    def test_balance_threshold_2_competitive_any_switch_cost(self, arrival, switch):
+        assert competitive_ratio(switch, arrival, switch) <= 2.0 + 1e-9
+
+    def test_worst_case_of_balance_is_exactly_2(self):
+        assert worst_case_ratio(C, C) == pytest.approx(2.0)
+
+    def test_small_windows_are_worse(self):
+        # spinning a tiny epsilon then blocking: adversary arrives just
+        # after -> ratio explodes
+        assert worst_case_ratio(1, C) > 2.0
+
+    def test_large_windows_are_worse(self):
+        assert worst_case_ratio(10 * C, C) > 2.0
+
+    @given(st.integers(0, 10**6))
+    def test_no_threshold_beats_2_in_the_worst_case(self, spin):
+        assert worst_case_ratio(spin, C) >= 2.0 - 1e-9
+
+
+class TestEmpirical:
+    def test_evaluation_fields(self):
+        ev = evaluate_threshold(C, [100, 200, 10_000], C)
+        assert ev.nsamples == 3
+        assert ev.mean_cost_ns >= ev.mean_optimum_ns
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_threshold(C, [], C)
+
+    def test_fast_events_favour_spinning(self):
+        arrivals = [200] * 50  # everything arrives quickly
+        spin = evaluate_threshold(1_000, arrivals, C)
+        block = evaluate_threshold(0, arrivals, C)
+        assert spin.mean_cost_ns < block.mean_cost_ns
+
+    def test_slow_events_favour_blocking(self):
+        arrivals = [1_000_000] * 50
+        spin = evaluate_threshold(100_000, arrivals, C)
+        block = evaluate_threshold(0, arrivals, C)
+        assert block.mean_cost_ns < spin.mean_cost_ns
+
+    @given(
+        st.lists(st.integers(0, 100_000), min_size=1, max_size=50),
+    )
+    def test_empirical_ratio_of_balance_bounded_by_2(self, arrivals):
+        ev = evaluate_threshold(C, arrivals, C)
+        # per-sample bound implies the mean bound
+        assert ev.mean_cost_ns <= 2.0 * ev.mean_optimum_ns + 1e-9
+
+    @given(st.lists(st.integers(0, 100_000), min_size=1, max_size=30))
+    def test_best_threshold_never_worse_than_balance(self, arrivals):
+        best = best_threshold(arrivals, C)
+        ev_best = evaluate_threshold(best, arrivals, C)
+        ev_balance = evaluate_threshold(C, arrivals, C)
+        assert ev_best.mean_cost_ns <= ev_balance.mean_cost_ns + 1e-9
+
+
+class TestTheoryMatchesSimulator:
+    def test_fixed_spin_sweep_consistent_with_theory(self):
+        """The E9 sweep's shape follows the cost model: thresholds below
+        the 8 us arrival all pay spin+switch; covering thresholds pay the
+        arrival only."""
+        from repro.bench.waiting import run_fixed_spin_sweep
+
+        results = run_fixed_spin_sweep(
+            spin_values_ns=(0, 2_000, 20_000), event_delay_ns=8_000, iterations=6
+        )
+        block = results.point("spin=0ns", 0)
+        short = results.point("spin=2000ns", 2_000)
+        cover = results.point("spin=20000ns", 20_000)
+        # theory: cost(block) ~ cost(short spin) > cost(covering spin)
+        assert cover < block
+        assert cover < short
+        assert abs(short - block) < 1.5  # both pay the switch (us scale)

@@ -1,0 +1,140 @@
+"""Unit tests for the analysis helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    confidence_interval_95,
+    constant_offset,
+    offset_flatness,
+    ratio_series,
+    speedup,
+    summarize,
+    trimmed_mean,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_single_sample_zero_std(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, math.nan])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+    def test_bounds(self, xs):
+        s = summarize(xs)
+        assert s.minimum <= s.median <= s.maximum
+        # the mean can undershoot min (or overshoot max) by a few ulps when
+        # all values are equal — allow float summation rounding
+        eps = 1e-6 * max(1.0, abs(s.mean))
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+
+
+class TestTrimmedMean:
+    def test_trims_outliers(self):
+        sample = [10.0] * 18 + [1000.0, 0.0]
+        assert trimmed_mean(sample, 0.1) == pytest.approx(10.0)
+
+    def test_zero_trim_is_mean(self):
+        assert trimmed_mean([1, 2, 3], 0.0) == 2.0
+
+    def test_bad_trim(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([1.0], 0.5)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([], 0.1)
+
+
+class TestCI:
+    def test_contains_mean(self):
+        lo, hi = confidence_interval_95([1.0, 2.0, 3.0])
+        assert lo <= 2.0 <= hi
+
+    def test_single_degenerate(self):
+        assert confidence_interval_95([7.0]) == (7.0, 7.0)
+
+
+class TestSpeedup:
+    def test_faster(self):
+        assert speedup(10.0, 5.0) == 2.0
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestConstantOffset:
+    def test_exact_constant(self):
+        base = [(1, 3.0), (2, 3.1), (4, 3.3)]
+        other = [(s, v + 0.14) for s, v in base]
+        fit = constant_offset(base, other)
+        assert fit.offset_ns == pytest.approx(0.14)
+        assert fit.spread_ns == pytest.approx(0.0, abs=1e-12)
+        assert fit.is_constant
+        assert offset_flatness(fit) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uses_shared_sizes_only(self):
+        base = [(1, 3.0), (2, 3.1)]
+        other = [(2, 3.3), (8, 9.9)]
+        fit = constant_offset(base, other)
+        assert fit.npoints == 1
+        assert fit.offset_ns == pytest.approx(0.2)
+
+    def test_no_shared_sizes(self):
+        with pytest.raises(ValueError):
+            constant_offset([(1, 3.0)], [(2, 3.0)])
+
+    def test_growing_offset_not_constant(self):
+        # ns-scale values (the heuristic has a 100 ns noise floor)
+        base = [(s, 3000.0) for s in (1, 2, 4, 8)]
+        other = [(s, 3000.0 + s * 500.0) for s in (1, 2, 4, 8)]
+        fit = constant_offset(base, other)
+        assert not fit.is_constant
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 1000), st.floats(1.0, 100.0)),
+            min_size=2,
+            max_size=20,
+            unique_by=lambda t: t[0],
+        ),
+        st.floats(-10, 10),
+    )
+    def test_recovers_injected_offset(self, series, delta):
+        base = series
+        other = [(s, v + delta) for s, v in series]
+        fit = constant_offset(base, other)
+        assert fit.offset_ns == pytest.approx(delta, abs=1e-9)
+
+
+class TestRatioSeries:
+    def test_ratios(self):
+        base = [(1, 2.0), (2, 4.0)]
+        other = [(1, 4.0), (2, 4.0)]
+        assert ratio_series(base, other) == [(1, 2.0), (2, 1.0)]
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_series([(1, 0.0)], [(1, 1.0)])
+
+    def test_disjoint_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_series([(1, 1.0)], [(2, 1.0)])

@@ -1,0 +1,70 @@
+"""Unit tests for the bench configuration and sweep runner."""
+
+import pytest
+
+from repro.bench.config import OVERLAP_SIZES, PAPER_SIZES, BenchConfig
+from repro.bench.runner import run_sweep
+
+
+class TestBenchConfig:
+    def test_paper_sizes_match_figure_axes(self):
+        assert PAPER_SIZES[0] == 1
+        assert PAPER_SIZES[-1] == 2048
+        assert len(PAPER_SIZES) == 12  # 1,2,4,...,2K
+
+    def test_overlap_sizes(self):
+        assert OVERLAP_SIZES == (2048, 4096, 8192, 16384, 32768)
+
+    def test_defaults_valid(self):
+        cfg = BenchConfig()
+        assert cfg.warmup < cfg.iterations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BenchConfig(iterations=0)
+        with pytest.raises(ValueError):
+            BenchConfig(iterations=4, warmup=4)
+        with pytest.raises(ValueError):
+            BenchConfig(sizes=())
+
+    def test_quick(self):
+        cfg = BenchConfig.quick()
+        assert cfg.iterations == 6
+
+    def test_with_sizes_parses_specs(self):
+        cfg = BenchConfig().with_sizes(["1K", 64, "2K"])
+        assert cfg.sizes == (1024, 64, 2048)
+
+
+class TestRunSweep:
+    def test_grid_is_complete(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2, 4))
+        calls = []
+
+        def fake(size):
+            calls.append(size)
+            return float(size)
+
+        results = run_sweep("exp", {"a": fake, "b": fake}, cfg)
+        assert len(results) == 6
+        assert results.point("a", 2) == 2.0
+        assert calls == [1, 2, 4, 1, 2, 4]
+
+    def test_extra_callback(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(8,))
+        results = run_sweep(
+            "exp",
+            {"a": lambda s: 1.0},
+            cfg,
+            extra=lambda name, size: {"config": name, "sz": size},
+        )
+        assert results[0].extra == {"config": "a", "sz": 8}
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep("exp", {}, BenchConfig.quick())
+
+    def test_negative_latency_rejected(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1,))
+        with pytest.raises(ValueError):
+            run_sweep("exp", {"bad": lambda s: -1.0}, cfg)

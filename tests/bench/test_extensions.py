@@ -1,0 +1,92 @@
+"""Unit tests for the extension measurement modules
+(technologies / collectives / bandwidth)."""
+
+import pytest
+
+from repro.bench.bandwidth import run_bandwidth_sweep, stream_bandwidth_mbps
+from repro.bench.collectives import COLLECTIVES, collective_time_us, run_collective_scaling
+from repro.bench.config import BenchConfig
+from repro.bench.technologies import (
+    TECHNOLOGIES,
+    locking_impact_by_technology,
+    run_technology_sweep,
+    technology_latency,
+)
+
+QUICK = BenchConfig(iterations=6, warmup=2, sizes=(8, 1024))
+
+
+class TestTechnologies:
+    def test_registry(self):
+        assert set(TECHNOLOGIES) == {"mx", "ib", "tcp"}
+
+    def test_unknown_technology(self):
+        with pytest.raises(ValueError):
+            technology_latency("carrier-pigeon", 8, QUICK)
+
+    def test_single_point(self):
+        lat = technology_latency("mx", 8, QUICK)
+        assert 1.0 < lat < 10.0
+
+    def test_sweep_grid(self):
+        results = run_technology_sweep(QUICK)
+        assert sorted(results.configs()) == ["ib", "mx", "tcp"]
+        assert results.sizes() == [8, 1024]
+
+    def test_locking_impact_fractions(self):
+        impact = locking_impact_by_technology(QUICK, size=8)
+        assert set(impact) == set(TECHNOLOGIES)
+        for tech, frac in impact.items():
+            assert -0.1 < frac < 0.5, tech
+
+
+class TestCollectives:
+    def test_registry(self):
+        assert "barrier" in COLLECTIVES and "allreduce" in COLLECTIVES
+
+    def test_unknown_collective(self):
+        with pytest.raises(ValueError):
+            collective_time_us("tea-break", 2)
+
+    def test_rounds_validation(self):
+        with pytest.raises(ValueError):
+            collective_time_us("barrier", 2, rounds=2, warmup=2)
+
+    def test_single_measurement(self):
+        us = collective_time_us("barrier", 2, rounds=4, warmup=1)
+        assert us > 0
+
+    def test_scaling_grid(self):
+        results = run_collective_scaling((2, 3))
+        assert set(results.configs()) == set(COLLECTIVES)
+        assert results.sizes() == [2, 3]
+
+    def test_barrier_grows_with_ranks(self):
+        two = collective_time_us("barrier", 2, rounds=4, warmup=1)
+        six = collective_time_us("barrier", 6, rounds=4, warmup=1)
+        assert six > two
+
+
+class TestBandwidth:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stream_bandwidth_mbps("none", 4096, messages=0)
+        with pytest.raises(ValueError):
+            stream_bandwidth_mbps("none", 4096, window=0)
+
+    def test_window_pipelines(self):
+        """A deeper window must not be slower than window=1."""
+        serial = stream_bandwidth_mbps("none", 64 * 1024, messages=8, window=1)
+        piped = stream_bandwidth_mbps("none", 64 * 1024, messages=8, window=4)
+        assert piped >= serial * 0.95
+
+    def test_bandwidth_grows_with_size(self):
+        small = stream_bandwidth_mbps("none", 1024, messages=8)
+        big = stream_bandwidth_mbps("none", 128 * 1024, messages=8)
+        assert big > small
+
+    def test_sweep_units(self):
+        cfg = BenchConfig(iterations=4, warmup=1, sizes=(4096, 65536))
+        results = run_bandwidth_sweep(cfg, policies=("none",))
+        assert all(r.extra["unit"] == "MB/s" for r in results)
+        assert len(results) == 2

@@ -1,0 +1,81 @@
+"""Unit tests for the paper-claim registry and report rendering."""
+
+import pytest
+
+from repro.bench.paper import CLAIMS, PaperClaim, claim
+from repro.bench.report import figure_table, print_figure, verdict_block
+from repro.util.records import ResultRecord, ResultSet
+
+
+class TestClaims:
+    def test_registry_covers_every_figure(self):
+        experiments = {c.experiment for c in CLAIMS.values()}
+        for figure in ("Figure 3", "Figure 5", "Figure 6", "Figure 7",
+                       "Figure 8", "Figure 9"):
+            assert any(figure in e for e in experiments), figure
+
+    def test_check_inside_tolerance(self):
+        c = PaperClaim("x", "Fig", "d", expected=100, tolerance=10)
+        assert c.check(105)
+        assert c.check(90)
+        assert not c.check(111)
+
+    def test_verdict_strings(self):
+        c = PaperClaim("x", "Fig", "d", expected=100, tolerance=10)
+        assert c.verdict(100).startswith("[OK ]")
+        assert c.verdict(500).startswith("[OFF]")
+
+    def test_lookup(self):
+        assert claim("fig3-coarse-offset").expected == 140
+        with pytest.raises(KeyError):
+            claim("fig99")
+
+    def test_paper_constants(self):
+        assert claim("fig3-fine-offset").expected == 230
+        assert claim("fig6-pioman-offset").expected == 200
+        assert claim("fig7-passive-offset").expected == 750
+        assert claim("fig8-shared-l2").expected == 400
+        assert claim("fig8-no-shared-cache").expected == 1_200
+        assert claim("fig8b-same-chip").expected == 2_300
+        assert claim("fig8b-other-chip").expected == 3_100
+        assert claim("fig9-tasklet-offset").expected == 2_000
+        assert claim("text-spin-cycle").expected == 70
+        assert claim("text-dedicated-core").expected == 0.25
+
+
+def sample_results():
+    rs = ResultSet()
+    for config, base in (("none", 3.0), ("coarse", 3.14)):
+        for size in (1, 1024):
+            rs.add(ResultRecord("fig3", config, size, base + size / 10_000))
+    return rs
+
+
+class TestReport:
+    def test_figure_table_layout(self):
+        text = figure_table(sample_results(), title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "none" in lines[2] and "coarse" in lines[2]
+        assert lines[4].startswith("1 ")
+        assert lines[5].startswith("1K")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            figure_table(ResultSet(), title="T")
+
+    def test_missing_point_dashed(self):
+        rs = sample_results()
+        rs.add(ResultRecord("fig3", "fine", 1, 3.2))  # only one size
+        text = figure_table(rs, title="T")
+        assert "-" in text.splitlines()[-1]
+
+    def test_verdicts(self):
+        c = claim("fig3-coarse-offset")
+        block = verdict_block([(c, 140.0), (c, 999.0)])
+        assert "[OK ]" in block and "[OFF]" in block
+
+    def test_print_figure_returns_text(self, capsys):
+        text = print_figure(sample_results(), title="T")
+        out = capsys.readouterr().out
+        assert text in out

@@ -1,0 +1,120 @@
+"""Direct unit tests for the collect and transfer layers."""
+
+import pytest
+
+from repro.core.collect import CollectLayer
+from repro.core.packets import data_packet, Chunk
+from repro.core.requests import SendRequest
+from repro.core.transfer import TransferLayer
+from repro.net.drivers.mx import MXDriver
+from repro.sim import Engine, Machine, quad_xeon_x5460
+
+
+def send_req(machine, peer=1, tag=0, size=8):
+    return SendRequest(machine, peer, tag, size, eager=True)
+
+
+@pytest.fixture
+def machine():
+    return Machine(Engine(), quad_xeon_x5460())
+
+
+class TestCollectLayer:
+    def test_fifo_per_peer(self, machine):
+        layer = CollectLayer()
+        r1, r2 = send_req(machine), send_req(machine)
+        layer.submit(r1)
+        layer.submit(r2)
+        assert layer.pop(1) is r1
+        assert layer.pop(1) is r2
+
+    def test_peers_independent(self, machine):
+        layer = CollectLayer()
+        a = send_req(machine, peer=1)
+        b = send_req(machine, peer=2)
+        layer.submit(a)
+        layer.submit(b)
+        assert layer.pending(1) == 1
+        assert layer.pending(2) == 1
+        assert sorted(layer.peers_with_pending()) == [1, 2]
+
+    def test_pop_empty_raises(self, machine):
+        with pytest.raises(LookupError):
+            CollectLayer().pop(1)
+
+    def test_peek_does_not_remove(self, machine):
+        layer = CollectLayer()
+        req = send_req(machine)
+        layer.submit(req)
+        assert layer.peek(1) is req
+        assert layer.pending(1) == 1
+
+    def test_peek_empty_none(self):
+        assert CollectLayer().peek(9) is None
+
+    def test_drain_upto(self, machine):
+        layer = CollectLayer()
+        reqs = [send_req(machine) for _ in range(5)]
+        for req in reqs:
+            layer.submit(req)
+        first = layer.drain_upto(1, 3)
+        assert first == reqs[:3]
+        assert layer.pending(1) == 2
+
+    def test_drain_upto_validates(self, machine):
+        with pytest.raises(ValueError):
+            CollectLayer().drain_upto(1, 0)
+
+    def test_totals(self, machine):
+        layer = CollectLayer()
+        assert not layer.has_pending
+        layer.submit(send_req(machine, peer=1))
+        layer.submit(send_req(machine, peer=2))
+        assert layer.has_pending
+        assert layer.pending_total() == 2
+        assert layer.submitted_total == 2
+
+
+def packet(req_id=1, size=8):
+    chunk = Chunk(0, req_id, 0, size, 0, size)
+    return data_packet(0, 1, (chunk,), header_bytes=40, eager=True)
+
+
+class TestTransferLayer:
+    def test_fifo_per_driver(self, machine):
+        drv = MXDriver(machine)
+        layer = TransferLayer([drv])
+        p1, p2 = packet(1), packet(2)
+        layer.push(drv, p1)
+        layer.push(drv, p2)
+        assert layer.pop(drv) is p1
+        assert layer.pop(drv) is p2
+        assert layer.pop(drv) is None
+
+    def test_unknown_driver_rejected(self, machine):
+        drv = MXDriver(machine, name="known")
+        other = MXDriver(machine, name="unknown")
+        layer = TransferLayer([drv])
+        with pytest.raises(LookupError):
+            layer.push(other, packet())
+        with pytest.raises(LookupError):
+            layer.pop(other)
+        with pytest.raises(LookupError):
+            layer.pending(other)
+
+    def test_needs_a_driver(self):
+        with pytest.raises(ValueError):
+            TransferLayer([])
+
+    def test_totals(self, machine):
+        d1 = MXDriver(machine, name="a")
+        d2 = MXDriver(machine, name="b")
+        layer = TransferLayer([d1, d2])
+        layer.push(d1, packet())
+        layer.push(d2, packet())
+        layer.push(d2, packet())
+        assert layer.pending(d1) == 1
+        assert layer.pending(d2) == 2
+        assert layer.pending_total() == 3
+        assert layer.has_pending
+        assert layer.enqueued_total == 3

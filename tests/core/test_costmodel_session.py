@@ -1,0 +1,96 @@
+"""Unit tests for the cost model and testbed assembly."""
+
+import pytest
+
+from repro.core import CostModel, build_testbed
+from repro.core.session import TestBed as SessionTestBed
+from repro.net.drivers.ib import IBDriver
+from repro.sim import SimCosts, SimThreadError
+from repro.sim.topology import dual_quad_xeon
+
+
+class TestCostModel:
+    def test_paper_totals(self):
+        cm = CostModel()
+        assert cm.pioman_per_message_ns == 200  # Fig. 6
+        assert cm.fixed_spin_ns == 5_000  # §3.3
+        assert cm.sim.spin_cycle_ns == 70  # §3.1
+        assert cm.sim.block_roundtrip_ns == 750  # §3.3 / Fig. 7
+        assert (
+            cm.sim.tasklet_schedule_ns + cm.sim.tasklet_invoke_ns == 1_600
+        )  # Fig. 9 (2 us minus the 400 ns cache crossing)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel().submit_ns = 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(submit_ns=-1)
+        with pytest.raises(ValueError):
+            CostModel(rdv_threshold_bytes=0)
+        with pytest.raises(ValueError):
+            CostModel(header_bytes=-1)
+
+    def test_custom_sim_costs_compose(self):
+        cm = CostModel(sim=SimCosts(ctx_switch_ns=100, wake_latency_ns=100))
+        assert cm.sim.block_roundtrip_ns == 200
+
+
+class TestBuildTestbed:
+    def test_default_shape(self):
+        bed = build_testbed()
+        assert isinstance(bed, SessionTestBed)
+        assert len(bed.machines) == 2
+        assert len(bed.libs) == 2
+        assert bed.machine(0).ncores == 4
+        assert bed.lib(0).peers == [1]
+
+    def test_full_mesh(self):
+        bed = build_testbed(nodes=4)
+        for lib in bed.libs:
+            assert lib.peers == [n for n in range(4) if n != lib.node_id]
+        # every ordered pair has a rail
+        assert len(bed.drivers) == 12
+
+    def test_multi_rail(self):
+        bed = build_testbed(rails=3)
+        assert len(bed.drivers[(0, 1)]) == 3
+        assert len(bed.lib(0).drivers) == 3
+
+    def test_driver_class(self):
+        bed = build_testbed(driver_cls=IBDriver)
+        assert all(isinstance(d, IBDriver) for d in bed.lib(0).drivers)
+
+    def test_topology_factory(self):
+        bed = build_testbed(topology_factory=dual_quad_xeon)
+        assert bed.machine(0).ncores == 8
+
+    def test_distinct_strategy_instances(self):
+        bed = build_testbed()
+        assert bed.lib(0).strategy is not bed.lib(1).strategy
+
+    def test_run_surfaces_thread_failures(self):
+        bed = build_testbed()
+
+        def bad():
+            yield from ()
+            raise RuntimeError("boom")
+
+        t = bed.machine(0).scheduler.spawn(bad(), name="bad", core=0)
+        with pytest.raises(SimThreadError):
+            bed.run(until=lambda: t.done)
+
+    def test_shutdown_drains(self):
+        bed = build_testbed()
+        from repro.pioman import attach_pioman
+
+        attach_pioman(bed.machine(0), [bed.lib(0)])
+        bed.shutdown()
+        assert bed.engine.run() == "drained"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_testbed(nodes=1)
+        with pytest.raises(ValueError):
+            build_testbed(rails=0)

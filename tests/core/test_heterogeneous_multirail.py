@@ -1,0 +1,115 @@
+"""Heterogeneous multirail: MX + InfiniBand rails between the same nodes."""
+
+import pytest
+
+from repro.core import (
+    BusyWait,
+    MultirailStrategy,
+    WeightedMultirailStrategy,
+    add_rail_pair,
+    build_testbed,
+)
+from repro.net.drivers.ib import IBDriver
+from repro.net.drivers.mx import MXDriver
+
+SIZE = 512 * 1024
+
+
+def transfer_time(strategy_factory, *, heterogeneous=True):
+    bed = build_testbed(policy="none", strategy_factory=strategy_factory)
+    if heterogeneous:
+        add_rail_pair(bed, 0, 1, IBDriver)
+    done = {}
+
+    def sender():
+        lib = bed.lib(0)
+        req = yield from lib.isend(1, 1, SIZE)
+        yield from lib.wait(req, BusyWait())
+
+    def receiver():
+        lib = bed.lib(1)
+        req = yield from lib.irecv(0, 1, SIZE)
+        yield from lib.wait(req, BusyWait())
+        done["at"] = bed.engine.now
+
+    ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0, bound=True)
+    tr = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0, bound=True)
+    bed.run(until=lambda: ts.done and tr.done)
+    return done["at"], bed
+
+
+class TestAddRailPair:
+    def test_rails_registered_both_sides(self):
+        bed = build_testbed(policy="none")
+        drv_a, drv_b = add_rail_pair(bed, 0, 1, IBDriver)
+        assert isinstance(drv_a, IBDriver)
+        assert drv_a in bed.lib(0).rails(1)
+        assert drv_b in bed.lib(1).rails(0)
+        assert len(bed.lib(0).rails(1)) == 2
+        assert drv_a.nic.peer is drv_b.nic
+
+    def test_same_node_rejected(self):
+        bed = build_testbed(policy="none")
+        with pytest.raises(ValueError):
+            add_rail_pair(bed, 0, 0, MXDriver)
+
+    def test_traffic_still_flows_after_adding(self):
+        from repro.bench.pingpong import run_pingpong
+
+        bed = build_testbed(policy="fine")
+        add_rail_pair(bed, 0, 1, IBDriver)
+        res = run_pingpong(bed, 64, iterations=4, warmup=1)
+        assert res.latency_us > 0
+
+
+class TestWeightedSplit:
+    def test_chunks_weighted_by_bandwidth(self):
+        _, bed = transfer_time(WeightedMultirailStrategy)
+        mx = bed.drivers[(0, 1)][0]
+        ib = bed.drivers[(0, 1)][1]
+        assert mx.nic.tx_bytes > 0 and ib.nic.tx_bytes > 0
+        # MX: 0.8 ns/B, IB: 0.5 ns/B -> IB should carry ~8/5 of MX's bytes
+        ratio = ib.nic.tx_bytes / mx.nic.tx_bytes
+        assert ratio == pytest.approx(0.8 / 0.5, rel=0.15)
+
+    def test_weighted_beats_even_split_on_heterogeneous_rails(self):
+        even, _ = transfer_time(MultirailStrategy)
+        weighted, _ = transfer_time(WeightedMultirailStrategy)
+        assert weighted < even
+
+    def test_weighted_beats_single_rail(self):
+        single, _ = transfer_time(WeightedMultirailStrategy, heterogeneous=False)
+        weighted, _ = transfer_time(WeightedMultirailStrategy)
+        assert weighted < single * 0.8
+
+    def test_bytes_conserved(self):
+        _, bed = transfer_time(WeightedMultirailStrategy)
+        payload = sum(
+            d.nic.tx_bytes for d in bed.drivers[(0, 1)]
+        )
+        # payload plus per-packet headers (2 data packets + handshake)
+        assert payload >= SIZE
+        assert payload <= SIZE + 1_000
+
+    def test_small_messages_not_split(self):
+        bed = build_testbed(
+            policy="none", strategy_factory=WeightedMultirailStrategy
+        )
+        add_rail_pair(bed, 0, 1, IBDriver)
+        done = {}
+
+        def sender():
+            lib = bed.lib(0)
+            req = yield from lib.isend(1, 1, 256)
+            yield from lib.wait(req, BusyWait())
+
+        def receiver():
+            lib = bed.lib(1)
+            req = yield from lib.irecv(0, 1, 256)
+            yield from lib.wait(req, BusyWait())
+            done["ok"] = True
+
+        ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+        tr = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        bed.run(until=lambda: ts.done and tr.done)
+        assert bed.lib(0).strategy.split_messages == 0

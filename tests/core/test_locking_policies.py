@@ -1,0 +1,113 @@
+"""Unit tests for the locking policies."""
+
+import pytest
+
+from repro.core.locking import (
+    POLICY_NAMES,
+    CoarseLocking,
+    FineLocking,
+    NoLocking,
+    make_policy,
+)
+from repro.net.drivers.mx import MXDriver
+from repro.sim import Engine, Machine, SimCosts, quad_xeon_x5460
+
+
+def drivers(n=2):
+    eng = Engine()
+    m = Machine(eng, quad_xeon_x5460())
+    return [MXDriver(m, name=f"mx{i}") for i in range(n)]
+
+
+class TestFactory:
+    def test_names(self):
+        costs = SimCosts()
+        for name in POLICY_NAMES:
+            assert make_policy(name, costs).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("banana", SimCosts())
+
+
+class TestNoLocking:
+    def test_everything_null(self):
+        p = NoLocking()
+        d = drivers(1)[0]
+        assert p.send_section().is_null
+        assert p.collect_lock().is_null
+        assert p.tx_lock(d).is_null
+        assert p.rx_lock(d).is_null
+        assert p.lock_objects() == []
+        assert p.per_message_extra_ns == 0
+
+
+class TestCoarseLocking:
+    def test_single_library_lock(self):
+        p = CoarseLocking(SimCosts())
+        d1, d2 = drivers(2)
+        # the send section and rx path share the one library lock
+        assert p.send_section() is p.rx_lock(d1)
+        assert p.rx_lock(d1) is p.rx_lock(d2)
+        # inner points are covered (null) to avoid re-acquisition
+        assert p.collect_lock().is_null
+        assert p.tx_lock(d1).is_null
+        assert len(p.lock_objects()) == 1
+
+    def test_cycle_cost_is_70ns(self):
+        p = CoarseLocking(SimCosts())
+        lock = p.send_section()
+        assert lock.acquire_ns + lock.release_ns == 70
+
+
+class TestFineLocking:
+    def test_distinct_locks_per_point(self):
+        p = FineLocking(SimCosts())
+        d1, d2 = drivers(2)
+        locks = {
+            id(p.collect_lock()),
+            id(p.tx_lock(d1)),
+            id(p.tx_lock(d2)),
+            id(p.rx_lock(d1)),
+            id(p.rx_lock(d2)),
+        }
+        assert len(locks) == 5
+        assert p.send_section().is_null
+
+    def test_locks_cached_per_driver(self):
+        p = FineLocking(SimCosts())
+        d = drivers(1)[0]
+        assert p.tx_lock(d) is p.tx_lock(d)
+        assert p.rx_lock(d) is p.rx_lock(d)
+
+    def test_extra_ns(self):
+        assert FineLocking(SimCosts()).per_message_extra_ns == 20
+        assert make_policy("fine", SimCosts(), fine_extra_ns=5).per_message_extra_ns == 5
+
+    def test_lock_objects_enumerates_created(self):
+        p = FineLocking(SimCosts())
+        d1, d2 = drivers(2)
+        p.tx_lock(d1)
+        p.rx_lock(d2)
+        assert len(p.lock_objects()) == 3  # collect + tx(d1) + rx(d2)
+
+
+class TestPaperCalibration:
+    def test_coarse_two_cycles_is_140(self):
+        """§3.1: 'a constant overhead of 140 ns ... held and released twice'."""
+        costs = SimCosts()
+        p = CoarseLocking(costs)
+        lock = p.send_section()
+        per_message = 2 * (lock.acquire_ns + lock.release_ns)
+        assert per_message == 140
+
+    def test_fine_three_cycles_plus_extra_is_230(self):
+        """§3.2: fine-grain locking costs 230 ns per message."""
+        costs = SimCosts()
+        p = FineLocking(costs)
+        d = drivers(1)[0]
+        cycles = sum(
+            lock.acquire_ns + lock.release_ns
+            for lock in (p.collect_lock(), p.tx_lock(d), p.rx_lock(d))
+        )
+        assert cycles + p.per_message_extra_ns == 230

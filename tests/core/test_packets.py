@@ -1,0 +1,116 @@
+"""Unit tests for packets and chunks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.packets import (
+    Chunk,
+    Packet,
+    PacketKind,
+    cts_packet,
+    data_packet,
+    rts_packet,
+)
+
+
+def chunk(size=100, offset=0, length=None, req_id=1, tag=5):
+    return Chunk(
+        src_node=0,
+        send_req_id=req_id,
+        tag=tag,
+        msg_size=size,
+        offset=offset,
+        length=size if length is None else length,
+    )
+
+
+class TestChunk:
+    def test_full_message(self):
+        assert chunk(100).is_full_message
+
+    def test_partial(self):
+        c = chunk(100, offset=50, length=25)
+        assert not c.is_full_message
+
+    def test_geometry_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            chunk(100, offset=60, length=60)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Chunk(0, 1, 1, -1, 0, 0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            chunk().offset = 3
+
+    @given(
+        st.integers(0, 10_000),
+        st.integers(0, 10_000),
+        st.integers(0, 10_000),
+    )
+    def test_valid_geometry_accepted(self, size, offset, length):
+        if offset + length <= size:
+            c = Chunk(0, 1, 0, size, offset, length)
+            assert c.length == length
+        else:
+            with pytest.raises(ValueError):
+                Chunk(0, 1, 0, size, offset, length)
+
+
+class TestDataPacket:
+    def test_wire_size_includes_header(self):
+        p = data_packet(0, 1, (chunk(100),), header_bytes=40, eager=True)
+        assert p.wire_size == 140
+        assert p.payload_bytes == 100
+
+    def test_eager_copies_payload(self):
+        p = data_packet(0, 1, (chunk(100),), header_bytes=40, eager=True)
+        assert p.host_copy_bytes == 100
+
+    def test_rendezvous_zero_copy(self):
+        p = data_packet(0, 1, (chunk(100),), header_bytes=40, eager=False)
+        assert p.host_copy_bytes == 0
+
+    def test_aggregate_payload_sums_chunks(self):
+        p = data_packet(
+            0, 1, (chunk(100, req_id=1), chunk(50, req_id=2)), header_bytes=40, eager=True
+        )
+        assert p.payload_bytes == 150
+
+    def test_needs_chunks(self):
+        with pytest.raises(ValueError):
+            Packet(PacketKind.DATA, 0, 1, 40)
+
+    def test_unique_ids(self):
+        a = data_packet(0, 1, (chunk(),), header_bytes=40, eager=True)
+        b = data_packet(0, 1, (chunk(),), header_bytes=40, eager=True)
+        assert a.packet_id != b.packet_id
+
+
+class TestControlPackets:
+    def test_rts_fields(self):
+        p = rts_packet(0, 1, req_id=9, tag=4, size=64_000, header_bytes=40)
+        assert p.kind is PacketKind.RTS
+        assert p.wire_size == 40
+        assert p.host_copy_bytes == 0
+        assert p.rdv_req_id == 9
+        assert p.rdv_size == 64_000
+
+    def test_cts_fields(self):
+        p = cts_packet(1, 0, req_id=9, header_bytes=40)
+        assert p.kind is PacketKind.CTS
+        assert p.rdv_req_id == 9
+        assert p.wire_size == 40
+
+    def test_control_with_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(PacketKind.RTS, 0, 1, 40, chunks=(chunk(),), rdv_req_id=1)
+
+    def test_rts_needs_metadata(self):
+        with pytest.raises(ValueError):
+            Packet(PacketKind.RTS, 0, 1, 40, rdv_req_id=1)
+
+    def test_control_needs_req_id(self):
+        with pytest.raises(ValueError):
+            Packet(PacketKind.CTS, 0, 1, 40)

@@ -1,0 +1,204 @@
+"""Unit tests for optimization-layer strategies (aggregation, multirail)."""
+
+import pytest
+
+from repro.core import (
+    AggregatingStrategy,
+    DefaultStrategy,
+    FullStrategy,
+    MultirailStrategy,
+    PacketKind,
+    build_testbed,
+)
+from repro.core.waiting import BusyWait
+from repro.sim.process import Delay
+
+
+def run_burst(strategy_factory, *, nmsgs=8, size=256, rails=1, policy="none"):
+    """Send a burst of messages 0->1; return (bed, recv_ok)."""
+    bed = build_testbed(policy=policy, strategy_factory=strategy_factory, rails=rails)
+    state = {}
+
+    def sender():
+        lib = bed.lib(0)
+        reqs = []
+        for i in range(nmsgs):
+            req = yield from lib.isend(1, 50, size)
+            reqs.append(req)
+        for req in reqs:
+            yield from lib.wait(req, BusyWait())
+        state["send"] = all(r.done for r in reqs)
+
+    def receiver():
+        lib = bed.lib(1)
+        reqs = []
+        for i in range(nmsgs):
+            req = yield from lib.irecv(0, 50, size)
+            reqs.append(req)
+        for req in reqs:
+            yield from lib.wait(req, BusyWait())
+        state["recv"] = all(r.done for r in reqs)
+
+    ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+    tr = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+    bed.run(until=lambda: ts.done and tr.done)
+    return bed, state
+
+
+class TestDefaultStrategy:
+    def test_one_packet_per_message(self):
+        bed, state = run_burst(DefaultStrategy, nmsgs=5)
+        assert state == {"send": True, "recv": True}
+        assert bed.lib(0).packets_posted[PacketKind.DATA] == 5
+
+    def test_rdv_single_rail(self):
+        bed = build_testbed(policy="none", rails=2)
+        done = {}
+
+        def sender():
+            lib = bed.lib(0)
+            req = yield from lib.isend(1, 1, 64 * 1024)
+            yield from lib.wait(req)
+            done["s"] = True
+
+        def receiver():
+            lib = bed.lib(1)
+            req = yield from lib.irecv(0, 1, 64 * 1024)
+            yield from lib.wait(req)
+            done["r"] = True
+
+        ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+        tr = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        bed.run(until=lambda: ts.done and tr.done)
+        # default strategy: all data on rail 0 only
+        rail0, rail1 = bed.drivers[(0, 1)]
+        assert rail0.nic.tx_packets > 0
+        assert rail1.nic.tx_packets == 0
+
+
+class TestAggregatingStrategy:
+    def test_burst_is_coalesced(self):
+        bed, state = run_burst(AggregatingStrategy, nmsgs=8, size=128)
+        assert state == {"send": True, "recv": True}
+        # fewer packets than messages: aggregation happened while the NIC
+        # was busy with earlier packets
+        assert bed.lib(0).packets_posted[PacketKind.DATA] < 8
+        strat = bed.lib(0).strategy
+        assert strat.aggregate_packets >= 1
+        assert strat.aggregated_messages >= 2
+
+    def test_respects_size_limit(self):
+        bed, state = run_burst(lambda: AggregatingStrategy(max_bytes=256), nmsgs=6, size=200)
+        assert state["recv"]
+        # no packet may carry more than 256 B of payload -> at most one
+        # message per packet here
+        assert bed.lib(0).packets_posted[PacketKind.DATA] == 6
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            AggregatingStrategy(max_bytes=0)
+
+    def test_aggregation_reduces_total_time(self):
+        """A1 ablation core claim: fewer packets => less per-packet cost."""
+        bed_agg, _ = run_burst(AggregatingStrategy, nmsgs=16, size=64)
+        t_agg = bed_agg.engine.now
+        bed_def, _ = run_burst(DefaultStrategy, nmsgs=16, size=64)
+        t_def = bed_def.engine.now
+        assert t_agg < t_def
+
+
+class TestMultirailStrategy:
+    def test_large_message_split_across_rails(self):
+        bed = build_testbed(
+            policy="none", rails=2, strategy_factory=lambda: MultirailStrategy()
+        )
+        done = {}
+
+        def sender():
+            lib = bed.lib(0)
+            req = yield from lib.isend(1, 1, 64 * 1024)
+            yield from lib.wait(req)
+            done["s"] = True
+
+        def receiver():
+            lib = bed.lib(1)
+            req = yield from lib.irecv(0, 1, 64 * 1024)
+            yield from lib.wait(req)
+            done["r"] = req
+
+        ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+        tr = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        bed.run(until=lambda: ts.done and tr.done)
+        rail0, rail1 = bed.drivers[(0, 1)]
+        assert rail0.nic.tx_packets > 0 and rail1.nic.tx_packets > 0
+        assert done["r"].bytes_done == 64 * 1024
+        assert bed.lib(0).strategy.split_messages == 1
+
+    def test_small_rdv_not_split(self):
+        bed = build_testbed(
+            policy="none",
+            rails=2,
+            strategy_factory=lambda: MultirailStrategy(min_split_bytes=1 << 20),
+        )
+        done = {}
+
+        def sender():
+            lib = bed.lib(0)
+            req = yield from lib.isend(1, 1, 32 * 1024)
+            yield from lib.wait(req)
+            done["s"] = True
+
+        def receiver():
+            lib = bed.lib(1)
+            req = yield from lib.irecv(0, 1, 32 * 1024)
+            yield from lib.wait(req)
+            done["r"] = True
+
+        ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+        tr = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        bed.run(until=lambda: ts.done and tr.done)
+        assert bed.lib(0).strategy.split_messages == 0
+
+    def test_multirail_speeds_up_large_transfers(self):
+        """A2 ablation core claim: 2 rails beat 1 for big messages."""
+
+        def time_transfer(rails, strategy_factory):
+            bed = build_testbed(
+                policy="none", rails=rails, strategy_factory=strategy_factory
+            )
+            done = {}
+
+            def sender():
+                lib = bed.lib(0)
+                req = yield from lib.isend(1, 1, 256 * 1024)
+                yield from lib.wait(req)
+
+            def receiver():
+                lib = bed.lib(1)
+                req = yield from lib.irecv(0, 1, 256 * 1024)
+                yield from lib.wait(req)
+                done["at"] = bed.engine.now
+
+            ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+            tr = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+            bed.run(until=lambda: ts.done and tr.done)
+            return done["at"]
+
+        single = time_transfer(1, DefaultStrategy)
+        dual = time_transfer(2, lambda: MultirailStrategy())
+        assert dual < single * 0.75
+
+    def test_bad_min_split(self):
+        with pytest.raises(ValueError):
+            MultirailStrategy(min_split_bytes=1)
+
+
+class TestFullStrategy:
+    def test_combines_both(self):
+        bed, state = run_burst(FullStrategy, nmsgs=8, size=128)
+        assert state["recv"]
+        assert bed.lib(0).strategy.aggregate_packets >= 1
+
+    def test_multirail_delegation(self):
+        strat = FullStrategy(min_split_bytes=4096)
+        assert strat.split_messages == 0

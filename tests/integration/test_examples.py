@@ -1,0 +1,61 @@
+"""Integration: the example scripts run end-to-end and print sane output."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Pingpong latency by locking policy" in out
+    assert "coarse-grain locking overhead" in out
+
+
+@pytest.mark.slow
+def test_hybrid_stencil():
+    out = run_example("hybrid_stencil.py")
+    assert out.count("[OK ]") == 2
+    assert "max error vs serial reference 0.00e+00" in out
+
+
+@pytest.mark.slow
+def test_overlap_pipeline():
+    out = run_example("overlap_pipeline.py")
+    assert "Pipeline makespan" in out
+    # background progression visibly beats no progression
+    lines = [l for l in out.splitlines() if "progression" in l]
+    none_line = next(l for l in lines if l.startswith("no progression"))
+    bg_line = next(l for l in lines if l.startswith("idle-core progression"))
+    none_us = float(none_line.split()[-2])
+    bg_us = float(bg_line.split()[-2])
+    assert bg_us < none_us * 0.85
+
+
+@pytest.mark.slow
+def test_mpi_collectives_example():
+    out = run_example("mpi_collectives.py")
+    assert "converged" in out.lower() or "eigenvalue" in out.lower()
+
+
+@pytest.mark.slow
+def test_lock_contention_trace_example():
+    out = run_example("lock_contention_trace.py")
+    assert "time spinning" in out
+    # the narrative line quantifies the coarse-vs-fine contrast
+    assert "fine-grain locking" in out

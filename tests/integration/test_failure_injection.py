@@ -1,0 +1,144 @@
+"""Failure injection: the stack fails loudly and precisely, not silently."""
+
+import pytest
+
+from repro.core import BusyWait, build_testbed
+from repro.sim import Engine, SimThreadError, SimTimeLimit
+
+
+class TestBufferErrors:
+    def test_undersized_receive_buffer_detected(self):
+        """An arrival larger than the posted buffer is an error, not a
+        truncation."""
+        bed = build_testbed()
+
+        def sender():
+            lib = bed.lib(0)
+            req = yield from lib.isend(1, 4, 1024)
+            yield from lib.wait(req, BusyWait())
+
+        def receiver():
+            lib = bed.lib(1)
+            req = yield from lib.irecv(0, 4, 16)  # too small
+            yield from lib.wait(req, BusyWait())
+
+        bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+        bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        with pytest.raises(SimThreadError) as info:
+            bed.run(until=lambda: False, max_time=1_000_000_000)
+        assert "smaller than" in str(info.value.__cause__)
+
+    def test_undersized_rendezvous_buffer_detected(self):
+        bed = build_testbed()
+
+        def sender():
+            lib = bed.lib(0)
+            req = yield from lib.isend(1, 4, 64 * 1024)
+            yield from lib.wait(req, BusyWait())
+
+        def receiver():
+            lib = bed.lib(1)
+            req = yield from lib.irecv(0, 4, 1024)
+            yield from lib.wait(req, BusyWait())
+
+        bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+        bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        with pytest.raises(SimThreadError):
+            bed.run(until=lambda: False, max_time=1_000_000_000)
+
+
+class TestLostWaiters:
+    def test_wait_for_message_that_never_comes_hits_time_limit(self):
+        bed = build_testbed()
+
+        def receiver():
+            lib = bed.lib(1)
+            req = yield from lib.irecv(0, 4, 16)
+            yield from lib.wait(req, BusyWait())  # nobody ever sends
+
+        t = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        with pytest.raises(SimTimeLimit):
+            bed.engine.run(until=lambda: t.done, max_time=5_000_000)
+
+    def test_passive_wait_without_pollers_deadlocks_loudly(self):
+        from repro.core import PassiveWait
+        from repro.pioman import PIOMan
+
+        bed = build_testbed()
+        # PIOMan attached but no idle loops: nobody will ever poll
+        pioman = PIOMan(bed.machine(1))
+        pioman.attach(bed.lib(1))
+
+        def receiver():
+            lib = bed.lib(1)
+            req = yield from lib.irecv(0, 4, 16)
+            yield from lib.wait(req, PassiveWait())
+
+        t = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        from repro.sim import SimDeadlock
+
+        with pytest.raises(SimDeadlock):
+            bed.engine.run(until=lambda: t.done, max_time=1_000_000_000)
+
+
+class TestEngineGuards:
+    def test_runaway_zero_cost_loop_caught_by_max_events(self):
+        from repro.sim import Machine, YieldCore, quad_xeon_x5460
+
+        eng = Engine()
+        m = Machine(eng, quad_xeon_x5460())
+
+        def spinner():
+            while True:
+                yield YieldCore()
+
+        m.scheduler.spawn(spinner(), name="w", core=0)
+        with pytest.raises(SimTimeLimit):
+            eng.run(until=lambda: False, max_events=5_000)
+
+    def test_exception_in_library_names_the_thread(self):
+        bed = build_testbed()
+
+        def bad():
+            lib = bed.lib(0)
+            yield from lib.isend(42, 0, 1)  # unknown peer
+
+        bed.machine(0).scheduler.spawn(bad(), name="culprit", core=0)
+        with pytest.raises(SimThreadError) as info:
+            bed.run(until=lambda: False, max_time=1_000_000)
+        assert "culprit" in str(info.value)
+        assert isinstance(info.value.__cause__, LookupError)
+
+
+class TestProtocolGuards:
+    def test_cts_for_unknown_request_is_fatal(self):
+        """A CTS arriving for a send the library does not track indicates
+        protocol corruption and must crash the progress engine."""
+        from repro.core.packets import cts_packet
+
+        bed = build_testbed()
+        # inject a rogue CTS directly into node 0's NIC
+        rogue = cts_packet(1, 0, req_id=999_999, header_bytes=40)
+        bed.drivers[(1, 0)][0].nic.inject(rogue, rogue.wire_size)
+
+        def victim():
+            from repro.sim import Delay
+
+            lib = bed.lib(0)
+            yield Delay(5_000)  # let the rogue packet arrive
+            yield from lib.progress()
+
+        bed.machine(0).scheduler.spawn(victim(), name="v", core=0)
+        with pytest.raises(SimThreadError) as info:
+            bed.run(until=lambda: False, max_time=1_000_000_000)
+        assert "unknown send request" in str(info.value.__cause__)
+
+    def test_double_complete_is_fatal(self):
+        from repro.core.requests import RecvRequest
+        from repro.sim import Machine, quad_xeon_x5460
+
+        m = Machine(Engine(), quad_xeon_x5460())
+        req = RecvRequest(m, 1, 0, 8)
+        req.complete()
+        with pytest.raises(RuntimeError):
+            req.complete()

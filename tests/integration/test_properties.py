@@ -1,0 +1,185 @@
+"""Property-based tests of system invariants (hypothesis)."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import BusyWait, build_testbed
+from repro.sim import Engine
+
+# simulation-heavy properties: modest example counts, no deadline
+SIM_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestEngineDeterminism:
+    @given(st.lists(st.integers(0, 1_000), min_size=1, max_size=40))
+    def test_same_schedule_same_trace(self, delays):
+        def trace(seed_list):
+            eng = Engine()
+            log = []
+            for i, d in enumerate(seed_list):
+                eng.schedule(d, lambda i=i: log.append((eng.now, i)))
+            eng.run()
+            return log
+
+        assert trace(delays) == trace(delays)
+
+
+messages = st.lists(
+    st.tuples(
+        st.integers(0, 3),  # tag
+        st.integers(0, 16 * 1024),  # size (eager and rendezvous)
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestTransferConservation:
+    @SIM_SETTINGS
+    @given(messages)
+    def test_every_message_arrives_once_in_order(self, msgs):
+        """All posted receives complete; per-tag FIFO order; payloads and
+        byte counts conserved."""
+        bed = build_testbed(policy="fine")
+        recv_log: list[tuple[int, object]] = []
+
+        def sender():
+            lib = bed.lib(0)
+            reqs = []
+            for i, (tag, size) in enumerate(msgs):
+                req = yield from lib.isend(1, tag, size, payload=("msg", i))
+                reqs.append(req)
+            for req in reqs:
+                yield from lib.wait(req, BusyWait())
+
+        def receiver():
+            lib = bed.lib(1)
+            reqs = []
+            for tag, size in msgs:
+                req = yield from lib.irecv(0, tag, size)
+                reqs.append(req)
+            for tag_size, req in zip(msgs, reqs):
+                yield from lib.wait(req, BusyWait())
+                recv_log.append((tag_size[0], req.payload))
+
+        ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+        tr = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        bed.run(until=lambda: ts.done and tr.done, max_time=1_000_000_000)
+
+        # bookkeeping stayed consistent throughout
+        from repro.sim import check_invariants, check_lock_invariants
+
+        for machine in bed.machines:
+            check_invariants(machine)
+        for lib in bed.libs:
+            check_lock_invariants(lib.policy.lock_objects())
+
+        # every payload delivered exactly once
+        delivered = [p for _, p in recv_log]
+        assert sorted(i for _, i in delivered) == list(range(len(msgs)))
+        # per-tag FIFO: the i-th send of tag t matches the i-th recv of tag t
+        for tag in set(t for t, _ in msgs):
+            sent_order = [i for i, (t, _) in enumerate(msgs) if t == tag]
+            recv_order = [i for t, (_, i) in recv_log if t == tag]
+            assert recv_order == sent_order
+        # wire conservation
+        drv_a = bed.drivers[(0, 1)][0]
+        drv_b = bed.drivers[(1, 0)][0]
+        assert drv_a.nic.tx_packets == drv_b.nic.rx_packets
+        assert drv_a.nic.tx_bytes == drv_b.nic.rx_bytes
+
+    @SIM_SETTINGS
+    @given(messages, st.sampled_from(["none", "coarse", "fine"]))
+    def test_policies_agree_on_outcome(self, msgs, policy):
+        """Locking changes timing, never semantics."""
+        bed = build_testbed(policy=policy)
+        got = []
+
+        def sender():
+            lib = bed.lib(0)
+            reqs = []
+            for i, (tag, size) in enumerate(msgs):
+                req = yield from lib.isend(1, tag, size, payload=i)
+                reqs.append(req)
+            for req in reqs:
+                yield from lib.wait(req, BusyWait())
+
+        def receiver():
+            lib = bed.lib(1)
+            reqs = []
+            for tag, size in msgs:
+                req = yield from lib.irecv(0, tag, size)
+                reqs.append(req)
+            for req in reqs:
+                yield from lib.wait(req, BusyWait())
+                got.append(req.payload)
+
+        ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+        tr = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        bed.run(until=lambda: ts.done and tr.done, max_time=1_000_000_000)
+        assert sorted(got) == list(range(len(msgs)))
+
+
+class TestAccountingInvariants:
+    @SIM_SETTINGS
+    @given(st.integers(1, 2048), st.sampled_from(["none", "coarse", "fine"]))
+    def test_core_busy_time_bounded_by_elapsed(self, size, policy):
+        from repro.bench.pingpong import run_pingpong
+
+        bed = build_testbed(policy=policy)
+        run_pingpong(bed, size, iterations=3, warmup=1)
+        elapsed = bed.engine.now
+        for machine in bed.machines:
+            for core in machine.cores:
+                assert core.busy_ns() <= elapsed
+
+    @SIM_SETTINGS
+    @given(st.integers(1, 2048))
+    def test_latency_monotone_under_policy_cost(self, size):
+        """More locking never makes the deterministic pingpong faster by
+        more than the phase quantum."""
+        from repro.bench.pingpong import run_pingpong
+
+        def lat(policy):
+            bed = build_testbed(policy=policy)
+            return run_pingpong(bed, size, iterations=8, warmup=2).latency_ns
+
+        none, coarse, fine = lat("none"), lat("coarse"), lat("fine")
+        quantum = 900  # one poll pass
+        assert coarse >= none - quantum
+        assert fine >= none - quantum
+
+
+class TestLockInvariants:
+    @SIM_SETTINGS
+    @given(st.integers(2, 4), st.integers(1, 6))
+    def test_spinlock_mutual_exclusion(self, nthreads, crit_us):
+        """No two threads ever inside the critical section at once."""
+        from repro.sim import Acquire, Delay, Machine, Release, SpinLock, quad_xeon_x5460
+
+        eng = Engine()
+        machine = Machine(eng, quad_xeon_x5460())
+        lock = SpinLock("crit", costs=machine.costs)
+        inside = [0]
+        max_inside = [0]
+
+        def worker():
+            for _ in range(3):
+                yield Acquire(lock)
+                inside[0] += 1
+                max_inside[0] = max(max_inside[0], inside[0])
+                yield Delay(crit_us * 1_000)
+                inside[0] -= 1
+                yield Release(lock)
+                yield Delay(500)
+
+        threads = [
+            machine.scheduler.spawn(worker(), name=f"w{i}", core=i, bound=True)
+            for i in range(nthreads)
+        ]
+        eng.run(until=lambda: all(t.done for t in threads), max_time=1_000_000_000)
+        assert max_inside[0] == 1
+        assert lock.acquisitions == 3 * nthreads

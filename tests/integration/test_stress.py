@@ -1,0 +1,165 @@
+"""Stress scenarios: many flows, incast, mixed sizes, all features at once."""
+
+import pytest
+
+from repro.core import (
+    BusyWait,
+    FullStrategy,
+    PacketKind,
+    PiomanBusyWait,
+    add_rail_pair,
+    build_testbed,
+)
+from repro.net.drivers.ib import IBDriver
+from repro.pioman import attach_pioman
+
+
+class TestIncast:
+    """N senders converge on one receiver."""
+
+    @pytest.mark.parametrize("nsenders", [2, 3, 5])
+    def test_all_messages_arrive(self, nsenders):
+        bed = build_testbed(nodes=nsenders + 1, policy="fine")
+        target = 0
+        received = []
+
+        def sender(node):
+            lib = bed.lib(node)
+            req = yield from lib.isend(target, 7, 512, payload=node)
+            yield from lib.wait(req, BusyWait())
+
+        def receiver():
+            lib = bed.lib(target)
+            reqs = []
+            for node in range(1, nsenders + 1):
+                req = yield from lib.irecv(node, 7, 512)
+                reqs.append(req)
+            for req in reqs:
+                yield from lib.wait(req, BusyWait())
+                received.append(req.payload)
+
+        threads = [
+            bed.machine(n).scheduler.spawn(sender(n), name=f"s{n}", core=0)
+            for n in range(1, nsenders + 1)
+        ]
+        threads.append(
+            bed.machine(target).scheduler.spawn(receiver(), name="r", core=0)
+        )
+        bed.run(until=lambda: all(t.done for t in threads))
+        assert sorted(received) == list(range(1, nsenders + 1))
+
+    def test_incast_of_rendezvous_messages(self):
+        nsenders = 3
+        bed = build_testbed(nodes=nsenders + 1, policy="fine")
+        target = 0
+
+        def sender(node):
+            lib = bed.lib(node)
+            req = yield from lib.isend(target, 7, 64 * 1024)
+            yield from lib.wait(req, BusyWait())
+
+        def receiver():
+            lib = bed.lib(target)
+            reqs = []
+            for node in range(1, nsenders + 1):
+                req = yield from lib.irecv(node, 7, 64 * 1024)
+                reqs.append(req)
+            for req in reqs:
+                yield from lib.wait(req, BusyWait())
+
+        threads = [
+            bed.machine(n).scheduler.spawn(sender(n), name=f"s{n}", core=0)
+            for n in range(1, nsenders + 1)
+        ]
+        tr = bed.machine(target).scheduler.spawn(receiver(), name="r", core=0)
+        threads.append(tr)
+        bed.run(until=lambda: all(t.done for t in threads))
+        # every rendezvous completed: one RTS per sender reached the target
+        assert bed.lib(target).packets_posted[PacketKind.CTS] == nsenders
+
+
+class TestKitchenSink:
+    """Everything on: aggregation + weighted multirail + heterogeneous
+    rails + PIOMan + mixed message sizes + concurrent threads."""
+
+    def test_mixed_workload_converges_and_conserves(self):
+        bed = build_testbed(policy="fine", strategy_factory=FullStrategy)
+        add_rail_pair(bed, 0, 1, IBDriver)
+        for node in (0, 1):
+            attach_pioman(bed.machine(node), [bed.lib(node)], poll_cores=[3])
+        sizes = [1, 64, 100, 4096, 4097, 32 * 1024, 7, 2048]
+        done = {"sent": 0, "received": 0}
+
+        def sender(thread_id, my_sizes):
+            lib = bed.lib(0)
+            reqs = []
+            for i, size in enumerate(my_sizes):
+                req = yield from lib.isend(
+                    1, 100 + thread_id, size, payload=(thread_id, i, size)
+                )
+                reqs.append(req)
+            for req in reqs:
+                yield from lib.wait(req, PiomanBusyWait())
+                done["sent"] += 1
+
+        def receiver(thread_id, my_sizes):
+            lib = bed.lib(1)
+            reqs = []
+            for size in my_sizes:
+                req = yield from lib.irecv(0, 100 + thread_id, size)
+                reqs.append(req)
+            for i, req in enumerate(reqs):
+                yield from lib.wait(req, PiomanBusyWait())
+                tid, idx, size = req.payload
+                assert (tid, idx) == (thread_id, i)
+                assert req.bytes_done == size
+                done["received"] += 1
+
+        threads = []
+        for tid in range(2):
+            my_sizes = sizes if tid == 0 else list(reversed(sizes))
+            threads.append(
+                bed.machine(0).scheduler.spawn(
+                    sender(tid, my_sizes), name=f"s{tid}", core=tid, bound=True
+                )
+            )
+            threads.append(
+                bed.machine(1).scheduler.spawn(
+                    receiver(tid, my_sizes), name=f"r{tid}", core=tid, bound=True
+                )
+            )
+        bed.run(until=lambda: all(t.done for t in threads))
+        assert done == {"sent": 16, "received": 16}
+        # both rails carried traffic (weighted multirail on the big messages)
+        mx, ib = bed.drivers[(0, 1)]
+        assert mx.nic.tx_bytes > 0
+        assert ib.nic.tx_bytes > 0
+
+    def test_long_run_has_no_leaks(self):
+        """After a long exchange everything quiesces: no pending requests,
+        no queued packets, empty matching tables."""
+        bed = build_testbed(policy="fine")
+        ITER = 40
+
+        def sender():
+            lib = bed.lib(0)
+            for i in range(ITER):
+                req = yield from lib.isend(1, i % 5, 128)
+                yield from lib.wait(req, BusyWait())
+
+        def receiver():
+            lib = bed.lib(1)
+            for i in range(ITER):
+                req = yield from lib.irecv(0, i % 5, 128)
+                yield from lib.wait(req, BusyWait())
+
+        ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+        tr = bed.machine(1).scheduler.spawn(receiver(), name="r", core=0)
+        bed.run(until=lambda: ts.done and tr.done)
+        for lib in bed.libs:
+            assert lib.pending_incomplete() == 0
+            assert not lib.has_work()
+            assert lib.matching.posted_count == 0
+            assert lib.matching.unexpected_count == 0
+            assert not lib.collect.has_pending
+            assert not lib.transfer.has_pending

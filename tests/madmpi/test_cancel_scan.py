@@ -1,0 +1,131 @@
+"""Tests for MPI_Cancel, MPI_Scan and MPI_Reduce_scatter."""
+
+import operator
+
+import pytest
+
+from repro.core import build_testbed
+from repro.madmpi import BYTE, MPIError, create_world, run_ranks
+from repro.sim.process import Delay
+
+
+def world(nodes=2):
+    bed = build_testbed(nodes=nodes, policy="fine")
+    return bed, create_world(bed)
+
+
+class TestCancel:
+    def test_cancel_unmatched_receive(self):
+        bed, comms = world()
+
+        def rank_fn(comm):
+            if comm.rank == 1:
+                req = yield from comm.Irecv(0, 64, BYTE, tag=9)
+                ok = yield from comm.Cancel(req)
+                return (ok, req.done, req.cancelled)
+            yield Delay(1)
+            return None
+
+        ok, done, cancelled = run_ranks(bed, comms, rank_fn)[1]
+        assert ok is True
+        assert done is True
+        assert cancelled is True
+
+    def test_cancelled_recv_does_not_match_later_sends(self):
+        bed, comms = world()
+
+        def rank_fn(comm):
+            if comm.rank == 1:
+                doomed = yield from comm.Irecv(0, 64, BYTE, tag=9)
+                yield from comm.Cancel(doomed)
+                live = yield from comm.Irecv(0, 64, BYTE, tag=9)
+                yield from comm.Wait(live)
+                return (doomed.payload, live.payload)
+            yield Delay(10_000)
+            yield from comm.Send(1, 8, BYTE, tag=9, payload="only-one")
+            return None
+
+        doomed_payload, live_payload = run_ranks(bed, comms, rank_fn)[1]
+        assert doomed_payload is None
+        assert live_payload == "only-one"
+
+    def test_cancel_matched_receive_fails(self):
+        bed, comms = world()
+
+        def rank_fn(comm):
+            if comm.rank == 0:
+                yield from comm.Send(1, 8, BYTE, tag=3, payload="x")
+                return None
+            req = yield from comm.Irecv(0, 64, BYTE, tag=3)
+            yield from comm.Wait(req)
+            ok = yield from comm.Cancel(req)
+            return ok
+
+        assert run_ranks(bed, comms, rank_fn)[1] is False
+
+    def test_cancel_send_rejected(self):
+        bed, comms = world()
+
+        def rank_fn(comm):
+            if comm.rank == 0:
+                req = yield from comm.Isend(1, 8, BYTE, tag=1, payload="x")
+                try:
+                    yield from comm.Cancel(req)
+                except MPIError:
+                    yield from comm.Wait(req)
+                    return "raised"
+            else:
+                obj = yield from comm.recv(0, tag=1)
+            return None
+
+        assert run_ranks(bed, comms, rank_fn)[0] == "raised"
+
+
+class TestScan:
+    @pytest.mark.parametrize("nodes", [2, 3, 4])
+    def test_prefix_sums(self, nodes):
+        bed, comms = world(nodes)
+
+        def rank_fn(comm):
+            result = yield from comm.Scan(comm.rank + 1, operator.add)
+            return result
+
+        results = run_ranks(bed, comms, rank_fn)
+        assert results == [sum(range(1, r + 2)) for r in range(nodes)]
+
+    def test_noncommutative_order(self):
+        bed, comms = world(3)
+
+        def rank_fn(comm):
+            result = yield from comm.Scan(str(comm.rank), operator.add)
+            return result
+
+        assert run_ranks(bed, comms, rank_fn) == ["0", "01", "012"]
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("nodes", [2, 3, 4])
+    def test_elementwise_sum_scattered(self, nodes):
+        bed, comms = world(nodes)
+
+        def rank_fn(comm):
+            # rank r contributes [r*10 + slot for each slot]
+            values = [comm.rank * 10 + slot for slot in range(nodes)]
+            result = yield from comm.Reduce_scatter(values, operator.add)
+            return result
+
+        results = run_ranks(bed, comms, rank_fn)
+        for slot in range(nodes):
+            expect = sum(r * 10 + slot for r in range(nodes))
+            assert results[slot] == expect
+
+    def test_wrong_arity(self):
+        bed, comms = world(2)
+
+        def rank_fn(comm):
+            try:
+                yield from comm.Reduce_scatter([1], operator.add)
+            except MPIError:
+                return "raised"
+
+        assert run_ranks(bed, comms, rank_fn) == ["raised", "raised"]

@@ -1,0 +1,88 @@
+"""Unit tests for Mad-MPI datatypes and status objects."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.madmpi import BYTE, DOUBLE, INT, Datatype, MPIError, Status, ThreadLevel
+from repro.madmpi.mpi import _object_size
+
+
+class TestDatatype:
+    def test_predefined_sizes(self):
+        assert BYTE.size_bytes == 1
+        assert INT.size_bytes == 4
+        assert DOUBLE.size_bytes == 8
+
+    def test_extent(self):
+        assert DOUBLE.extent(100) == 800
+        assert DOUBLE.extent(0) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            INT.extent(-1)
+
+    def test_contiguous(self):
+        block = DOUBLE.contiguous(16)
+        assert block.size_bytes == 128
+        assert block.extent(2) == 256
+
+    def test_vector(self):
+        v = INT.vector(4, 8)
+        assert v.size_bytes == 4 * 8 * 4
+
+    def test_invalid_derived(self):
+        with pytest.raises(ValueError):
+            INT.contiguous(0)
+        with pytest.raises(ValueError):
+            INT.vector(1, 0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Datatype("bad", -1)
+
+    @given(st.integers(min_value=0, max_value=1 << 20))
+    def test_extent_linear(self, n):
+        assert INT.extent(n) == 4 * n
+
+
+class TestStatus:
+    def test_get_count(self):
+        s = Status(source=1, tag=2, count_bytes=32)
+        assert s.get_count(INT) == 8
+        assert s.get_count(DOUBLE) == 4
+
+    def test_get_count_fractional_rejected(self):
+        s = Status(source=1, tag=2, count_bytes=30)
+        with pytest.raises(ValueError):
+            s.get_count(DOUBLE)
+
+    def test_zero_size_datatype(self):
+        s = Status(source=0, tag=0, count_bytes=10)
+        assert s.get_count(Datatype("empty", 0)) == 0
+
+
+class TestThreadLevel:
+    def test_ordering(self):
+        assert ThreadLevel.SINGLE < ThreadLevel.FUNNELED
+        assert ThreadLevel.FUNNELED < ThreadLevel.SERIALIZED
+        assert ThreadLevel.SERIALIZED < ThreadLevel.MULTIPLE
+
+
+class TestObjectSize:
+    def test_bytes(self):
+        assert _object_size(b"abcd") == 4
+
+    def test_none(self):
+        assert _object_size(None) == 1
+
+    def test_numpy_nbytes(self):
+        import numpy as np
+
+        assert _object_size(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_list(self):
+        assert _object_size([0] * 10) == 80
+
+    def test_generic_object_positive(self):
+        assert _object_size(object()) >= 1
+        assert _object_size("some text") >= 1

@@ -1,0 +1,84 @@
+"""Unit tests for the link cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import IB_MODEL, MX_MODEL, TCP_MODEL, LinkModel
+
+
+def model(**kw):
+    base = dict(
+        name="t",
+        wire_latency_ns=1_000,
+        ns_per_byte=1.0,
+        send_overhead_ns=100,
+        recv_overhead_ns=50,
+        poll_ns=10,
+        copy_ns_per_byte=0.5,
+    )
+    base.update(kw)
+    return LinkModel(**base)
+
+
+class TestLinkModel:
+    def test_serialize(self):
+        assert model().serialize_ns(100) == 100
+        assert model(ns_per_byte=0.8).serialize_ns(1000) == 800
+
+    def test_wire_time_adds_latency(self):
+        assert model().wire_time_ns(100) == 1_100
+
+    def test_copy(self):
+        assert model().copy_ns(1000) == 500
+
+    def test_zero_bytes(self):
+        m = model()
+        assert m.serialize_ns(0) == 0
+        assert m.wire_time_ns(0) == m.wire_latency_ns
+        assert m.copy_ns(0) == 0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            model().serialize_ns(-1)
+        with pytest.raises(ValueError):
+            model().copy_ns(-1)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            model(poll_ns=-1)
+        with pytest.raises(ValueError):
+            model(ns_per_byte=-0.1)
+
+    def test_floor_eager_includes_copies(self):
+        m = model()
+        eager = m.half_roundtrip_floor_ns(1000, eager=True)
+        rdv = m.half_roundtrip_floor_ns(1000, eager=False)
+        assert eager - rdv == 2 * m.copy_ns(1000)
+
+    @given(st.integers(min_value=0, max_value=1 << 22))
+    def test_floor_monotone_in_size(self, n):
+        m = model()
+        assert m.half_roundtrip_floor_ns(n + 1) >= m.half_roundtrip_floor_ns(n)
+
+
+class TestPresets:
+    def test_mx_small_message_floor_under_fig3_baseline(self):
+        """The analytic floor sits below the ~3 us measured Fig. 3
+        baseline (the library adds ~1 us of bookkeeping + detection)."""
+        floor = MX_MODEL.half_roundtrip_floor_ns(1)
+        assert 1_200 <= floor <= 3_000
+
+    def test_mx_2k_floor_in_fig3_range(self):
+        """...and reaches the 5-8 us regime at 2 KB (measured ~7-8 us)."""
+        floor = MX_MODEL.half_roundtrip_floor_ns(2048)
+        assert 5_000 <= floor <= 8_000
+
+    def test_ib_slightly_faster_than_mx(self):
+        assert IB_MODEL.half_roundtrip_floor_ns(1) < MX_MODEL.half_roundtrip_floor_ns(1)
+
+    def test_tcp_much_slower(self):
+        assert TCP_MODEL.half_roundtrip_floor_ns(1) > 5 * MX_MODEL.half_roundtrip_floor_ns(1)
+
+    def test_models_frozen(self):
+        with pytest.raises(Exception):
+            MX_MODEL.poll_ns = 1

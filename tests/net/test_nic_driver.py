@@ -1,0 +1,221 @@
+"""Unit tests for SimNIC, Driver and Fabric."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net import Fabric, IBDriver, MXDriver, TCPDriver, wire_pair
+from repro.net.drivers.base import Driver, DriverCaps
+from repro.net.model import LinkModel
+from repro.sim import Engine, Machine, quad_xeon_x5460
+
+
+@dataclass
+class FakePacket:
+    wire_size: int
+    host_copy_bytes: int = 0
+    tag: str = ""
+
+
+def two_nodes(driver_cls=MXDriver):
+    eng = Engine()
+    a = Machine(eng, quad_xeon_x5460(), name="A")
+    b = Machine(eng, quad_xeon_x5460(), name="B")
+    fabric = Fabric()
+    drv_a, drv_b = wire_pair(fabric, a, b, driver_cls)
+    return eng, a, b, drv_a, drv_b
+
+
+class TestWiring:
+    def test_wire_pair_connects(self):
+        _, _, _, da, db = two_nodes()
+        assert da.nic.peer is db.nic
+        assert db.nic.peer is da.nic
+
+    def test_double_wire_rejected(self):
+        eng, a, b, da, db = two_nodes()
+        c = Machine(eng, quad_xeon_x5460(), name="C")
+        other = MXDriver(c, name="mx1")
+        with pytest.raises(RuntimeError):
+            other.nic.connect(da.nic)
+
+    def test_self_wire_rejected(self):
+        eng = Engine()
+        a = Machine(eng, name="A")
+        drv = MXDriver(a)
+        with pytest.raises(ValueError):
+            drv.nic.connect(drv.nic)
+
+    def test_wire_pair_same_machine_rejected(self):
+        eng = Engine()
+        a = Machine(eng, name="A")
+        with pytest.raises(ValueError):
+            wire_pair(Fabric(), a, a, MXDriver)
+
+    def test_inject_unwired_rejected(self):
+        eng = Engine()
+        a = Machine(eng, name="A")
+        drv = MXDriver(a)
+        with pytest.raises(RuntimeError):
+            drv.nic.inject(FakePacket(8), 8)
+
+
+class TestTransmission:
+    def test_packet_arrives_after_processing_and_wire_time(self):
+        eng, a, b, da, db = two_nodes()
+        pkt = FakePacket(wire_size=1000)
+        da.nic.inject(pkt, 1000)
+        eng.run()
+        assert db.nic.rx_pending == 1
+        expect = (
+            da.model.tx_occupancy_ns(1000)
+            + da.model.wire_latency_ns
+            + db.model.min_rx_gap_ns
+        )
+        assert eng.now == expect
+
+    def test_tx_serialization_queues_back_to_back(self):
+        eng, a, b, da, db = two_nodes()
+        da.nic.inject(FakePacket(1000), 1000)
+        da.nic.inject(FakePacket(1000), 1000)
+        eng.run()
+        # the second departure waits for the first's engine occupancy; the
+        # receiver's rx slots don't queue here (arrivals are spaced wider
+        # than the rx gap)
+        occupancy = da.model.tx_occupancy_ns(1000)
+        expect = 2 * occupancy + da.model.wire_latency_ns + db.model.min_rx_gap_ns
+        assert eng.now == expect
+        assert db.nic.rx_packets == 2
+
+    def test_small_packet_occupancy_is_rate_limited(self):
+        eng, a, b, da, db = two_nodes()
+        da.nic.inject(FakePacket(8), 8)
+        assert da.nic.engine_free_at == da.model.min_tx_gap_ns
+
+    def test_tx_idle_reflects_serialization(self):
+        eng, a, b, da, db = two_nodes()
+        assert da.tx_idle
+        da.nic.inject(FakePacket(4096), 4096)
+        assert not da.tx_idle
+        eng.run()
+        assert da.tx_idle
+
+    def test_counters(self):
+        eng, a, b, da, db = two_nodes()
+        da.nic.inject(FakePacket(64), 64)
+        eng.run()
+        assert da.nic.tx_packets == 1
+        assert da.nic.tx_bytes == 64
+        assert db.nic.rx_bytes == 64
+
+    def test_delivery_observer(self):
+        eng, a, b, da, db = two_nodes()
+        seen = []
+        db.nic.on_delivery = lambda nic, pkt: seen.append(pkt.tag)
+        da.nic.inject(FakePacket(8, tag="x"), 8)
+        eng.run()
+        assert seen == ["x"]
+
+
+class TestDriverGenerators:
+    def test_post_send_charges_overhead_and_copy(self):
+        eng, a, b, da, db = two_nodes()
+        pkt = FakePacket(wire_size=1000, host_copy_bytes=1000)
+
+        def sender():
+            yield from da.post_send(pkt)
+
+        t = a.scheduler.spawn(sender(), name="s", core=0)
+        eng.run(until=lambda: t.done)
+        expect = da.model.send_overhead_ns + da.model.copy_ns(1000)
+        assert a.cores[0].busy_ns("net") == expect
+
+    def test_poll_empty_returns_none_and_charges(self):
+        eng, a, b, da, db = two_nodes()
+
+        def poller():
+            result = yield from db.poll()
+            return result
+
+        t = b.scheduler.spawn(poller(), name="p", core=0)
+        eng.run(until=lambda: t.done)
+        assert t.result is None
+        assert b.cores[0].busy_ns("poll") == db.model.poll_ns
+        assert db.nic.empty_polls == 1
+
+    def test_poll_returns_packet_and_charges_recv(self):
+        eng, a, b, da, db = two_nodes()
+        pkt = FakePacket(wire_size=128, host_copy_bytes=128)
+
+        def sender():
+            yield from da.post_send(pkt)
+
+        def receiver():
+            got = None
+            while got is None:
+                got = yield from db.poll()
+            return got
+
+        a.scheduler.spawn(sender(), name="s", core=0)
+        t = b.scheduler.spawn(receiver(), name="r", core=0)
+        eng.run(until=lambda: t.done)
+        assert t.result is pkt
+        assert b.cores[0].busy_ns("net") == db.model.recv_overhead_ns + db.model.copy_ns(128)
+
+    def test_polls_fifo(self):
+        eng, a, b, da, db = two_nodes()
+        for i in range(3):
+            da.nic.inject(FakePacket(8, tag=str(i)), 8)
+        eng.run()
+        got = []
+
+        def drain():
+            while db.rx_pending:
+                pkt = yield from db.poll()
+                got.append(pkt.tag)
+
+        t = b.scheduler.spawn(drain(), name="d", core=0)
+        eng.run(until=lambda: t.done)
+        assert got == ["0", "1", "2"]
+
+
+class TestEagerDecision:
+    def test_mx_eager_boundary(self):
+        eng = Engine()
+        m = Machine(eng, name="A")
+        drv = MXDriver(m)
+        assert drv.is_eager(4096)
+        assert not drv.is_eager(4097)
+
+    def test_custom_caps(self):
+        eng = Engine()
+        m = Machine(eng, name="A")
+        drv = Driver(
+            m,
+            LinkModel("x", 10, 1.0, 1, 1, 1),
+            "d",
+            DriverCaps(eager_max_bytes=10, thread_safe_poll=False),
+        )
+        assert drv.is_eager(10)
+        assert not drv.is_eager(11)
+        assert not drv.caps.thread_safe_poll
+
+
+class TestPresetsSmoke:
+    @pytest.mark.parametrize("cls", [MXDriver, IBDriver, TCPDriver])
+    def test_roundtrip_on_each_technology(self, cls):
+        eng, a, b, da, db = two_nodes(cls)
+
+        def sender():
+            yield from da.post_send(FakePacket(wire_size=256, host_copy_bytes=256))
+
+        def receiver():
+            got = None
+            while got is None:
+                got = yield from db.poll()
+            return eng.now
+
+        a.scheduler.spawn(sender(), name="s", core=0)
+        t = b.scheduler.spawn(receiver(), name="r", core=0)
+        eng.run(until=lambda: t.done)
+        assert t.result >= da.model.wire_time_ns(256)

@@ -1,0 +1,60 @@
+"""Cache-affinity effects of delegated polling (paper §4.1, Fig. 8)."""
+
+import pytest
+
+from repro.bench.pingpong import run_pingpong
+from repro.core import PassiveWait
+from repro.core.session import build_testbed
+from repro.pioman import attach_pioman
+from repro.sim.topology import dual_quad_xeon
+
+
+def latency_polling_on(core, topology_factory=None, size=8):
+    """Passive-wait pingpong with background polling pinned to ``core``."""
+    kw = {}
+    if topology_factory is not None:
+        kw["topology_factory"] = topology_factory
+    bed = build_testbed(policy="fine", **kw)
+    for node in (0, 1):
+        attach_pioman(bed.machine(node), [bed.lib(node)], poll_cores=[core])
+    res = run_pingpong(
+        bed, size, iterations=10, warmup=2, wait_factory=PassiveWait,
+        core_a=0, core_b=0,
+    )
+    return res.latency_ns
+
+
+class TestQuadCoreAffinity:
+    """App thread on CPU 0; polling on CPU 0/1/2/3 (Fig. 8)."""
+
+    def test_shared_l2_costs_about_400ns(self):
+        base = latency_polling_on(0)
+        shared = latency_polling_on(1)
+        assert shared - base == pytest.approx(400, abs=250)
+
+    def test_no_shared_cache_costs_about_1200ns(self):
+        base = latency_polling_on(0)
+        far = latency_polling_on(2)
+        assert far - base == pytest.approx(1_200, abs=400)
+
+    def test_cpu2_and_cpu3_equivalent(self):
+        assert latency_polling_on(2) == pytest.approx(latency_polling_on(3), abs=150)
+
+    def test_ordering(self):
+        """Fig. 8's visual ordering: cpu0 < cpu1 < cpu2/cpu3."""
+        l0, l1, l2 = latency_polling_on(0), latency_polling_on(1), latency_polling_on(2)
+        assert l0 < l1 < l2
+
+
+class TestDualQuadAffinity:
+    """§4.1 in-text dual quad-core results: 400 ns / 2.3 us / 3.1 us."""
+
+    def test_three_tiers(self):
+        base = latency_polling_on(0, dual_quad_xeon)
+        shared = latency_polling_on(1, dual_quad_xeon)
+        same_chip = latency_polling_on(2, dual_quad_xeon)
+        other_chip = latency_polling_on(4, dual_quad_xeon)
+        assert shared - base == pytest.approx(400, abs=250)
+        assert same_chip - base == pytest.approx(2_300, abs=600)
+        assert other_chip - base == pytest.approx(3_100, abs=700)
+        assert base < shared < same_chip < other_chip

@@ -1,0 +1,82 @@
+"""Submission offloading tests (paper §4.2, Fig. 9)."""
+
+import pytest
+
+from repro.bench.overlap import build_overlap_bed, make_offload, run_overlap
+from repro.core import PacketKind
+from repro.pioman.offload import IdleCoreSubmit, InlineSubmit, TaskletSubmit, set_offload
+
+
+class TestFactories:
+    def test_make_offload_names(self):
+        assert make_offload("inline").name == "inline"
+        assert make_offload("idle-core").name == "idle-core"
+        assert make_offload("tasklet").name == "tasklet"
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            make_offload("gpu")
+
+    def test_inline_flags(self):
+        assert InlineSubmit().inline
+        assert not IdleCoreSubmit().inline
+        assert not TaskletSubmit().inline
+
+    def test_tasklet_bad_core(self):
+        with pytest.raises(ValueError):
+            TaskletSubmit(target_core=-1)
+
+
+class TestOffloadCorrectness:
+    @pytest.mark.parametrize("mode", ["inline", "idle-core", "tasklet"])
+    def test_messages_still_flow(self, mode):
+        bed = build_overlap_bed(mode)
+        res = run_overlap(bed, 2048, iterations=4, warmup=1)
+        assert len(res.rtts_ns) == 4
+        assert res.latency_us > 0
+
+    def test_idle_core_submission_happens_on_poll_core(self):
+        bed = build_overlap_bed("idle-core", poll_core=1)
+        run_overlap(bed, 2048, iterations=4, warmup=1)
+        # the application core did not pay the send overheads...
+        m = bed.machine(0)
+        assert m.cores[1].busy_ns("net") > 0
+
+    def test_tasklets_actually_ran(self):
+        bed = build_overlap_bed("tasklet", poll_core=1)
+        run_overlap(bed, 2048, iterations=4, warmup=1)
+        assert bed.machine(0).tasklets.executed_total >= 4
+
+    def test_rendezvous_sizes_work_offloaded(self):
+        bed = build_overlap_bed("tasklet")
+        res = run_overlap(bed, 32 * 1024, iterations=3, warmup=1)
+        assert res.latency_us > 0
+        assert bed.lib(0).packets_posted[PacketKind.RTS] >= 3
+
+
+class TestFig9Shape:
+    """Ordering and rough offsets: reference < idle-core < tasklet."""
+
+    @staticmethod
+    def lat(mode, size):
+        bed = build_overlap_bed(mode)
+        return run_overlap(bed, size, iterations=8, warmup=2).latency_ns
+
+    def test_ordering_at_8k(self):
+        ref = self.lat("inline", 8 * 1024)
+        idle = self.lat("idle-core", 8 * 1024)
+        tasklet = self.lat("tasklet", 8 * 1024)
+        assert ref < idle < tasklet
+
+    def test_tasklet_overhead_about_2us(self):
+        """Fig. 9: 'offloading message submission with tasklet introduces
+        an overhead of 2 us'."""
+        ref = self.lat("inline", 16 * 1024)
+        tasklet = self.lat("tasklet", 16 * 1024)
+        assert tasklet - ref == pytest.approx(2_000, rel=0.6)
+
+    def test_idle_core_overhead_under_1us(self):
+        """Fig. 9: 'using idle cores to transmit the data costs 400 ns'."""
+        ref = self.lat("inline", 16 * 1024)
+        idle = self.lat("idle-core", 16 * 1024)
+        assert 100 <= idle - ref <= 1_000

@@ -1,0 +1,144 @@
+"""Timer-interrupt progression (paper §3.3: hooks on "timer interrupts").
+
+When every core runs compute threads, neither the application nor the
+idle loops can poll; the timer hook's interrupt-context poll is the
+liveness backstop.
+"""
+
+import pytest
+
+from repro.core import build_testbed
+from repro.pioman import attach_pioman
+from repro.sim.process import Delay
+
+COMPUTE_NS = 2_000_000  # 2 ms of compute hogging every core
+
+
+def busy_all_cores(machine, duration_ns):
+    """Spawn compute threads occupying every core."""
+    threads = []
+    for core in range(machine.ncores):
+
+        def burn():
+            yield Delay(duration_ns, "compute")
+
+        threads.append(
+            machine.scheduler.spawn(burn(), name=f"burn{core}", core=core, bound=True)
+        )
+    return threads
+
+
+def send_and_measure(timers: bool) -> int:
+    """Time from send to recv completion while node B's cores all compute."""
+    bed = build_testbed(policy="fine")
+    pioman_kw = dict(timers=timers, timer_period_ns=50_000)
+    for node in (0, 1):
+        attach_pioman(bed.machine(node), [bed.lib(node)], **pioman_kw)
+    state = {}
+
+    def receiver_setup():
+        lib = bed.lib(1)
+        req = yield from lib.irecv(0, 5, 64)
+        state["rreq"] = req
+
+    t_setup = bed.machine(1).scheduler.spawn(receiver_setup(), name="setup", core=0)
+    bed.run(until=lambda: t_setup.done)
+
+    # every core of node B now computes for 2 ms
+    burners = busy_all_cores(bed.machine(1), COMPUTE_NS)
+
+    def sender():
+        lib = bed.lib(0)
+        req = yield from lib.isend(1, 5, 64)
+        yield from lib.wait(req)
+        state["sent_at"] = bed.engine.now
+
+    t_send = bed.machine(0).scheduler.spawn(sender(), name="send", core=0)
+    rreq = state["rreq"]
+    bed.run(
+        until=lambda: rreq.done or all(b.done for b in burners),
+        max_time=1_000_000_000,
+    )
+    if not rreq.done:
+        bed.run(until=lambda: rreq.done, max_time=1_000_000_000)
+    return rreq.completed_at - state["sent_at"]
+
+
+class TestTimerProgression:
+    def test_without_timers_arrival_waits_for_compute(self):
+        delay = send_and_measure(timers=False)
+        # nobody could poll: completion waited for the 2 ms compute burst
+        assert delay > COMPUTE_NS / 2
+
+    def test_timer_hook_completes_arrival_mid_compute(self):
+        delay = send_and_measure(timers=True)
+        # the 50 us timer tick polled from interrupt context
+        assert delay < 300_000
+
+    def test_timer_hook_charges_interrupt_time(self):
+        bed = build_testbed(policy="fine")
+        for node in (0, 1):
+            attach_pioman(
+                bed.machine(node), [bed.lib(node)], timers=True, timer_period_ns=20_000
+            )
+        bed.engine.run(until=lambda: bed.engine.now > 100_000, max_time=10_000_000)
+        assert bed.machine(0).cores[0].busy_ns("timer") > 0
+
+
+class TestInlineProgress:
+    def test_inline_pass_is_nonblocking_under_contention(self):
+        """A held rx lock makes the inline pass bail out, not spin."""
+        from repro.sim import Acquire, Release
+        from repro.sim.process import run_inline
+
+        bed = build_testbed(policy="coarse")
+        lib = bed.lib(1)
+        lock = lib.policy.rx_lock(lib.drivers[0])
+        held = {}
+
+        def holder():
+            yield Acquire(lock)
+            held["yes"] = True
+            yield Delay(50_000)
+            yield Release(lock)
+
+        bed.machine(1).scheduler.spawn(holder(), name="h", core=0, bound=True)
+        bed.engine.run(until=lambda: held.get("yes"), max_time=10_000_000)
+        # inject an arrival so there is rx work
+        drv = bed.drivers[(0, 1)][0]
+
+        class FakePacket:
+            wire_size = 48
+            host_copy_bytes = 8
+
+        drv.nic.inject(FakePacket(), 48)
+        bed.engine.run(until=lambda: lib.drivers[0].rx_pending > 0, max_time=10_000_000)
+        ns, did = run_inline(lib.try_progress_inline(), core_index=1)
+        assert did is False  # bailed out: lock held
+        assert ns < 1_000  # no spinning
+
+    def test_inline_pass_processes_arrival(self):
+        from repro.core import BusyWait
+        from repro.sim.process import run_inline
+
+        bed = build_testbed(policy="fine")
+        state = {}
+
+        def sender():
+            lib = bed.lib(0)
+            req = yield from lib.isend(1, 9, 32, payload="inline")
+            yield from lib.wait(req, BusyWait())
+
+        def receiver_post():
+            lib = bed.lib(1)
+            req = yield from lib.irecv(0, 9, 32)
+            state["req"] = req
+
+        tp = bed.machine(1).scheduler.spawn(receiver_post(), name="p", core=0)
+        ts = bed.machine(0).scheduler.spawn(sender(), name="s", core=0)
+        bed.run(until=lambda: ts.done and bed.lib(1).drivers[0].rx_pending > 0)
+        ns, did = run_inline(bed.lib(1).try_progress_inline(), core_index=2)
+        assert did is True
+        assert state["req"].done
+        assert state["req"].payload == "inline"
+        assert ns > 0

@@ -1,0 +1,214 @@
+"""Live-engine tests: correctness under real threads.
+
+Performance assertions are deliberately loose — wall-clock numbers on a
+shared CI box are noisy; correctness (matching, payloads, thread safety
+under the locked policies) is what these tests pin down.
+"""
+
+import threading
+
+import pytest
+
+from repro.rt import (
+    LoopbackLink,
+    ProgressionThread,
+    build_rt_pair,
+    make_rt_policy,
+    rt_lock_overhead_ns,
+    rt_pingpong,
+    spin_until,
+    timer_overhead_ns,
+)
+
+
+class TestLoopbackLink:
+    def test_fifo_delivery(self):
+        link = LoopbackLink()
+        link.send(0, "a")
+        link.send(0, "b")
+        assert link.poll(1) == "a"
+        assert link.poll(1) == "b"
+        assert link.poll(1) is None
+
+    def test_directions_independent(self):
+        link = LoopbackLink()
+        link.send(0, "to-1")
+        link.send(1, "to-0")
+        assert link.poll(0) == "to-0"
+        assert link.poll(1) == "to-1"
+
+    def test_latency_gates_visibility(self):
+        link = LoopbackLink(latency_ns=50_000_000)  # 50 ms
+        link.send(0, "slow")
+        assert link.poll(1) is None  # not visible yet
+        assert link.pending(1) == 1
+
+    def test_bad_endpoint(self):
+        link = LoopbackLink()
+        with pytest.raises(ValueError):
+            link.send(2, "x")
+        with pytest.raises(ValueError):
+            link.poll(-1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LoopbackLink(latency_ns=-1)
+
+
+class TestRTLibraryBasics:
+    def test_send_then_recv(self):
+        a, b = build_rt_pair()
+        a.isend(tag=1, size=8, payload="hello")
+        req = b.irecv(tag=1)
+        assert spin_until(lambda: b.progress() or req.done)
+        assert req.done
+        assert req.payload == "hello"
+
+    def test_unexpected_then_post(self):
+        a, b = build_rt_pair()
+        a.isend(tag=5, size=8, payload="early")
+        assert spin_until(lambda: b.progress())  # stashes as unexpected
+        req = b.irecv(tag=5)
+        assert req.done
+        assert req.payload == "early"
+        assert b.unexpected_hits == 1
+
+    def test_tag_matching(self):
+        a, b = build_rt_pair()
+        a.isend(tag=1, size=8, payload="one")
+        a.isend(tag=2, size=8, payload="two")
+        r2 = b.irecv(tag=2)
+        r1 = b.irecv(tag=1)
+        while not (r1.done and r2.done):
+            b.progress()
+        assert r1.payload == "one"
+        assert r2.payload == "two"
+
+    def test_send_completes_locally(self):
+        a, _ = build_rt_pair()
+        req = a.isend(tag=0, size=4)
+        assert req.done
+
+    def test_wait_busy_timeout(self):
+        _, b = build_rt_pair()
+        req = b.irecv(tag=9)
+        with pytest.raises(TimeoutError):
+            b.wait(req, mode="busy", timeout_s=0.05)
+
+    def test_bad_wait_mode(self):
+        _, b = build_rt_pair()
+        req = b.irecv(tag=9)
+        with pytest.raises(ValueError):
+            b.wait(req, mode="telepathy")
+
+
+class TestProgressionThread:
+    def test_passive_wait_via_progression(self):
+        a, b = build_rt_pair()
+        prog = ProgressionThread(b).start()
+        try:
+            req = b.irecv(tag=3)
+            a.isend(tag=3, size=16, payload="bg")
+            b.wait(req, mode="passive", timeout_s=10)
+            assert req.payload == "bg"
+        finally:
+            prog.stop()
+
+    def test_stop_is_clean(self):
+        a, b = build_rt_pair()
+        prog = ProgressionThread(b).start()
+        prog.stop()  # no deadlock, no exception
+
+
+class TestPingpong:
+    @pytest.mark.parametrize("policy", ["none", "coarse", "fine"])
+    def test_messages_flow_under_each_policy(self, policy):
+        rtts = rt_pingpong(policy, iterations=60, warmup=10)
+        assert len(rtts) == 50
+        assert all(r > 0 for r in rtts)
+
+    def test_passive_mode(self):
+        rtts = rt_pingpong("fine", iterations=40, warmup=10, mode="passive")
+        assert len(rtts) == 30
+
+    def test_fixed_mode(self):
+        rtts = rt_pingpong("coarse", iterations=40, warmup=10, mode="fixed")
+        assert len(rtts) == 30
+
+    def test_emulated_wire_latency_visible(self):
+        fast = sorted(rt_pingpong("none", iterations=40, warmup=10))
+        slow = sorted(
+            rt_pingpong("none", iterations=40, warmup=10, wire_latency_ns=200_000)
+        )
+        # 200 us of emulated one-way latency must dominate: compare medians
+        assert slow[len(slow) // 2] > fast[len(fast) // 2] + 300_000
+
+    def test_iterations_validated(self):
+        with pytest.raises(ValueError):
+            rt_pingpong("none", iterations=5, warmup=10)
+
+
+class TestLockInstrumentation:
+    def test_lock_counts(self):
+        pol = make_rt_policy("fine")
+        with pol.collect_lock():
+            pass
+        assert pol.lock_objects()[0].acquisitions == 1
+
+    def test_contention_detected(self):
+        pol = make_rt_policy("coarse")
+        lock = pol.send_section()
+        started = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                started.set()
+                release.wait(5)
+
+        t = threading.Thread(target=holder, daemon=True)
+        t.start()
+        assert started.wait(5)
+
+        grabbed = []
+
+        def contender():
+            with lock:
+                grabbed.append(True)
+
+        t2 = threading.Thread(target=contender, daemon=True)
+        t2.start()
+        import time
+
+        time.sleep(0.05)  # let the contender hit the held lock
+        release.set()
+        t.join(5)
+        t2.join(5)
+        assert grabbed == [True]
+        assert lock.contentions >= 1
+
+    def test_overhead_ordering_usually_holds(self):
+        """Live lock-path costs: none < {coarse, fine} (informational)."""
+        none = rt_lock_overhead_ns("none", cycles=5_000)
+        coarse = rt_lock_overhead_ns("coarse", cycles=5_000)
+        fine = rt_lock_overhead_ns("fine", cycles=5_000)
+        # real locks always cost more than the null policy; coarse vs fine
+        # ordering depends on the host, so only the weak claim is asserted
+        assert none < coarse
+        assert none < fine
+
+    def test_policy_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_rt_policy("quantum")
+
+
+class TestTiming:
+    def test_timer_overhead_sane(self):
+        overhead = timer_overhead_ns(200)
+        assert 0 <= overhead < 100_000  # way below 0.1 ms on any host
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            timer_overhead_ns(0)
+        with pytest.raises(ValueError):
+            rt_lock_overhead_ns("none", cycles=0)

@@ -1,0 +1,139 @@
+"""Tests for the invariant checker (and that real scenarios satisfy it)."""
+
+import pytest
+
+from repro.sim import (
+    Acquire,
+    Delay,
+    Engine,
+    Machine,
+    Release,
+    SpinLock,
+    ThreadState,
+    quad_xeon_x5460,
+)
+from repro.sim.debug import InvariantViolation, check_invariants, check_lock_invariants
+from repro.sim.process import SimThread
+
+
+def make_machine():
+    eng = Engine()
+    return eng, Machine(eng, quad_xeon_x5460())
+
+
+class TestCleanScenarios:
+    def test_fresh_machine_passes(self):
+        _, m = make_machine()
+        check_invariants(m)
+
+    def test_mid_run_passes(self):
+        eng, m = make_machine()
+
+        def work():
+            for _ in range(3):
+                yield Delay(100)
+
+        threads = [
+            m.scheduler.spawn(work(), name=f"w{i}", core=i % 4, bound=True)
+            for i in range(6)
+        ]
+        for _ in range(10):
+            eng.run(until=lambda: True)  # single event steps
+            check_invariants(m)
+        eng.run(until=lambda: all(t.done for t in threads))
+        check_invariants(m)
+
+    def test_pingpong_scenario_passes(self):
+        from repro.bench.pingpong import run_pingpong
+        from repro.core import build_testbed
+
+        bed = build_testbed(policy="fine")
+        run_pingpong(bed, 64, iterations=4, warmup=1)
+        for machine in bed.machines:
+            check_invariants(machine)
+        for lib in bed.libs:
+            check_lock_invariants(lib.policy.lock_objects())
+
+    def test_contended_locks_pass(self):
+        eng, m = make_machine()
+        lock = SpinLock("l", costs=m.costs)
+
+        def worker():
+            for _ in range(3):
+                yield Acquire(lock)
+                yield Delay(500)
+                yield Release(lock)
+
+        threads = [
+            m.scheduler.spawn(worker(), name=f"w{i}", core=i, bound=True)
+            for i in range(3)
+        ]
+        eng.run(until=lambda: all(t.done for t in threads))
+        check_invariants(m)
+        check_lock_invariants([lock])
+
+
+class TestViolationsDetected:
+    def test_current_state_mismatch(self):
+        eng, m = make_machine()
+
+        def work():
+            yield Delay(1_000)
+
+        t = m.scheduler.spawn(work(), name="w", core=0)
+        eng.run(until=lambda: m.cores[0].current is t)
+        t.state = ThreadState.BLOCKED  # corrupt
+        with pytest.raises(InvariantViolation, match="occupies core"):
+            check_invariants(m)
+
+    def test_placed_on_mismatch(self):
+        eng, m = make_machine()
+
+        def work():
+            yield Delay(1_000)
+
+        t = m.scheduler.spawn(work(), name="w", core=0)
+        eng.run(until=lambda: m.cores[0].current is t)
+        t.placed_on = 2  # corrupt
+        with pytest.raises(InvariantViolation, match="placed_on"):
+            check_invariants(m)
+
+    def test_runq_state_mismatch(self):
+        _, m = make_machine()
+        ghost = SimThread(iter([]), "ghost")
+        ghost.state = ThreadState.BLOCKED
+        m.cores[1].runq.append(ghost)
+        with pytest.raises(InvariantViolation, match="queued on core"):
+            check_invariants(m)
+
+    def test_negative_accounting(self):
+        _, m = make_machine()
+        m.cores[0]._busy["compute"] = -5
+        with pytest.raises(InvariantViolation, match="negative"):
+            check_invariants(m)
+
+    def test_overrun_accounting(self):
+        _, m = make_machine()
+        m.cores[0]._busy["compute"] = 10_000  # engine.now == 0
+        with pytest.raises(InvariantViolation, match="busy"):
+            check_invariants(m)
+
+    def test_lock_owned_by_finished_thread(self):
+        _, m = make_machine()
+        lock = SpinLock("l", costs=m.costs)
+        dead = SimThread(iter([]), "dead")
+        dead._finish(None, None)
+        lock._grant(dead)
+        with pytest.raises(InvariantViolation, match="finished thread"):
+            check_lock_invariants([lock])
+
+    def test_spinner_state_mismatch(self):
+        _, m = make_machine()
+        lock = SpinLock("l", costs=m.costs)
+        holder = SimThread(iter([]), "h")
+        lock._grant(holder)
+        fake = SimThread(iter([]), "f")
+        fake.state = ThreadState.READY
+        lock.spinners.append(fake)
+        with pytest.raises(InvariantViolation, match="spinner"):
+            check_lock_invariants([lock])

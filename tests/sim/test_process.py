@@ -1,0 +1,126 @@
+"""Unit tests for the effect protocol and inline (interrupt) execution."""
+
+import pytest
+
+from repro.sim import Delay, NullLock, Sleep, SpinLock, TryAcquire, run_inline, sequence
+from repro.sim.errors import SimProtocolError
+from repro.sim.process import Block, Release, SimThread
+
+
+class TestEffectValidation:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-5)
+
+    def test_sleep_none_allowed(self):
+        assert Sleep(None).ns is None
+
+    def test_delay_repr(self):
+        assert "poll" in repr(Delay(10, "poll"))
+
+
+class TestRunInline:
+    def test_sums_delays_and_returns_value(self):
+        def gen():
+            yield Delay(100)
+            yield Delay(50)
+            return "done"
+
+        ns, value = run_inline(gen())
+        assert ns == 150
+        assert value == "done"
+
+    def test_empty_generator(self):
+        def gen():
+            return 7
+            yield  # pragma: no cover
+
+        ns, value = run_inline(gen())
+        assert ns == 0
+        assert value == 7
+
+    def test_tryacquire_on_free_lock(self):
+        lock = SpinLock("l")
+
+        def gen():
+            got = yield TryAcquire(lock)
+            yield Release(lock)
+            return got
+
+        ns, got = run_inline(gen())
+        assert got is True
+        assert not lock.held
+        assert ns == lock.acquire_ns + lock.release_ns
+
+    def test_tryacquire_on_held_lock_fails(self):
+        lock = SpinLock("l")
+        holder = SimThread(iter([]), "h")
+        lock._grant(holder)
+
+        def gen():
+            got = yield TryAcquire(lock)
+            return got
+
+        _, got = run_inline(gen())
+        assert got is False
+        assert lock.owner is holder
+
+    def test_null_lock_inline(self):
+        lock = NullLock()
+
+        def gen():
+            got = yield TryAcquire(lock)
+            yield Release(lock)
+            return got
+
+        _, got = run_inline(gen())
+        assert got is True
+
+    def test_blocking_effect_rejected(self):
+        def gen():
+            yield Block()
+
+        with pytest.raises(SimProtocolError):
+            run_inline(gen())
+
+    def test_sleep_rejected(self):
+        def gen():
+            yield Sleep(10)
+
+        with pytest.raises(SimProtocolError):
+            run_inline(gen())
+
+
+class TestSimThread:
+    def test_on_finish_after_done_fires_immediately(self):
+        t = SimThread(iter([]), "t")
+        t._finish("r", None)
+        seen = []
+        t.on_finish(lambda th: seen.append(th.result))
+        assert seen == ["r"]
+
+    def test_finish_records_exception(self):
+        t = SimThread(iter([]), "t")
+        exc = RuntimeError("x")
+        t._finish(None, exc)
+        assert t.failed
+        assert t.exc is exc
+
+    def test_unique_tids(self):
+        a = SimThread(iter([]), "a")
+        b = SimThread(iter([]), "b")
+        assert a.tid != b.tid
+
+
+class TestSequence:
+    def test_yields_in_order(self):
+        effs = [Delay(1), Delay(2)]
+        gen = sequence(effs)
+        assert next(gen) is effs[0]
+        assert gen.send(None) is effs[1]
+        with pytest.raises(StopIteration):
+            gen.send(None)

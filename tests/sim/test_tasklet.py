@@ -1,0 +1,113 @@
+"""Unit tests for the tasklet (softirq) engine."""
+
+import pytest
+
+from repro.sim import Delay, Engine, Machine, Tasklet, TaskletState, quad_xeon_x5460
+
+
+def make_machine():
+    eng = Engine()
+    m = Machine(eng, quad_xeon_x5460())
+    m.enable_idle_loops()
+    return eng, m
+
+
+class TestTaskletExecution:
+    def test_runs_on_target_core(self):
+        eng, m = make_machine()
+        ran_on = []
+
+        def body(core):
+            ran_on.append(core.index)
+            yield Delay(10)
+
+        tl = Tasklet(body, "t")
+
+        def scheduler_thread():
+            yield from m.tasklets.schedule(tl, 2)
+
+        m.scheduler.spawn(scheduler_thread(), name="s", core=0, bound=True)
+        eng.run(until=lambda: tl.runs == 1, max_time=10_000_000)
+        assert ran_on == [2]
+        assert tl.state is TaskletState.IDLE
+
+    def test_schedule_charges_protocol_cost(self):
+        eng, m = make_machine()
+        tl = Tasklet(lambda core: iter([]), "t")
+
+        def scheduler_thread():
+            yield from m.tasklets.schedule(tl, 1)
+
+        t = m.scheduler.spawn(scheduler_thread(), name="s", core=0, bound=True)
+        eng.run(until=lambda: t.done, max_time=10_000_000)
+        assert m.cores[0].busy_ns("lock") >= m.costs.tasklet_schedule_ns
+
+    def test_invoke_cost_charged_on_executor(self):
+        eng, m = make_machine()
+        tl = Tasklet(lambda core: iter([]), "t")
+        m.tasklets.schedule_from_event(tl, 3)
+        eng.run(until=lambda: tl.runs == 1, max_time=10_000_000)
+        assert m.cores[3].busy_ns("lock") >= m.costs.tasklet_invoke_ns
+
+    def test_double_schedule_collapses(self):
+        eng, m = make_machine()
+        tl = Tasklet(lambda core: iter([]), "t")
+        m.tasklets.schedule_from_event(tl, 1)
+        m.tasklets.schedule_from_event(tl, 1)
+        eng.run(until=lambda: m.tasklets.pending_count() == 0, max_time=10_000_000)
+        eng.run(until=lambda: tl.runs >= 1, max_time=10_000_000)
+        assert tl.runs == 1
+
+    def test_reschedule_while_running_runs_again(self):
+        eng, m = make_machine()
+        tl = Tasklet(None, "t")
+
+        def body(core):
+            yield Delay(100)
+            if tl.runs == 0:  # runs incremented after body completes
+                m.tasklets.schedule_from_event(tl, 1)
+
+        tl.fn = body
+        m.tasklets.schedule_from_event(tl, 1)
+        eng.run(until=lambda: tl.runs == 2, max_time=10_000_000)
+        assert tl.runs == 2
+
+    def test_bad_core_rejected(self):
+        _, m = make_machine()
+        with pytest.raises(ValueError):
+            m.tasklets.schedule_from_event(Tasklet(lambda c: iter([]), "t"), 9)
+
+    def test_counters(self):
+        eng, m = make_machine()
+        tls = [Tasklet(lambda core: iter([]), f"t{i}") for i in range(3)]
+        for i, tl in enumerate(tls):
+            m.tasklets.schedule_from_event(tl, i)
+        eng.run(until=lambda: all(t.runs == 1 for t in tls), max_time=10_000_000)
+        assert m.tasklets.scheduled_total == 3
+        assert m.tasklets.executed_total == 3
+
+    def test_pending_count_per_core(self):
+        _, m = make_machine()
+        m.tasklets.schedule_from_event(Tasklet(lambda c: iter([]), "a"), 0)
+        m.tasklets.schedule_from_event(Tasklet(lambda c: iter([]), "b"), 0)
+        assert m.tasklets.pending_count(0) == 2
+        assert m.tasklets.pending_count(1) == 0
+        assert m.tasklets.pending_count() == 2
+
+    def test_busy_target_core_defers_to_idle_moment(self):
+        eng, m = make_machine()
+        ran_at = []
+
+        def body(core):
+            ran_at.append(eng.now)
+            yield Delay(1)
+
+        def busy():
+            yield Delay(5_000)
+
+        tb = m.scheduler.spawn(busy(), name="busy", core=1, bound=True)
+        tl = Tasklet(body, "t")
+        m.tasklets.schedule_from_event(tl, 1)
+        eng.run(until=lambda: tl.runs == 1, max_time=10_000_000)
+        # the tasklet had to wait for the compute thread to leave the core
+        assert ran_at[0] >= 5_000

@@ -1,0 +1,87 @@
+"""Unit tests for per-core timer interrupts."""
+
+import pytest
+
+from repro.sim import Delay, Engine, Machine, TimerSystem, quad_xeon_x5460
+
+
+def make_machine():
+    eng = Engine()
+    return eng, Machine(eng, quad_xeon_x5460())
+
+
+class TestTimerSystem:
+    def test_ticks_at_period(self):
+        eng, m = make_machine()
+        timers = TimerSystem(m, period_ns=1_000)
+        timers.start(cores=[0])
+        eng.run(until=lambda: timers.ticks >= 3, max_time=100_000)
+        assert eng.now == 3_000
+
+    def test_overhead_accounted(self):
+        eng, m = make_machine()
+        timers = TimerSystem(m, period_ns=1_000)
+        timers.start(cores=[2])
+        eng.run(until=lambda: timers.ticks >= 2, max_time=100_000)
+        assert m.cores[2].busy_ns("timer") == 2 * m.costs.timer_overhead_ns
+
+    def test_timer_hooks_run_inline(self):
+        eng, m = make_machine()
+        hits = []
+
+        def hook(core):
+            hits.append(core.index)
+            yield Delay(40)
+
+        m.hooks.register_timer(hook)
+        timers = TimerSystem(m, period_ns=500)
+        timers.start(cores=[1])
+        eng.run(until=lambda: len(hits) >= 2, max_time=100_000)
+        assert hits == [1, 1]
+        # the hook's inline cost is folded into the timer accounting
+        assert m.cores[1].busy_ns("timer") == 2 * (m.costs.timer_overhead_ns + 40)
+
+    def test_stop_cancels(self):
+        eng, m = make_machine()
+        timers = TimerSystem(m, period_ns=1_000)
+        timers.start()
+        eng.run(until=lambda: timers.ticks >= 1, max_time=100_000)
+        timers.stop()
+        assert not timers.running
+        assert eng.run() == "drained"
+
+    def test_default_period_from_costs(self):
+        _, m = make_machine()
+        assert TimerSystem(m).period_ns == m.costs.timer_period_ns
+
+    def test_bad_period_rejected(self):
+        _, m = make_machine()
+        with pytest.raises(ValueError):
+            TimerSystem(m, period_ns=0)
+
+    def test_tick_pokes_idle_loop(self):
+        eng, m = make_machine()
+        hits = []
+
+        def idle_hook(core):
+            hits.append(eng.now)
+            yield Delay(10, "poll")
+            return False
+
+        m.hooks.register_idle(idle_hook)
+        m.enable_idle_loops(cores=[0])
+        # no demand: the idle loop parks after its first pass...
+        eng.run(until=lambda: len(hits) >= 1, max_time=10_000_000)
+        # ...but timer ticks re-poke it
+        timers = TimerSystem(m, period_ns=10_000)
+        timers.start(cores=[0])
+        eng.run(until=lambda: len(hits) >= 3, max_time=10_000_000)
+        assert len(hits) >= 3
+
+    def test_start_idempotent_per_core(self):
+        eng, m = make_machine()
+        timers = TimerSystem(m, period_ns=1_000)
+        timers.start(cores=[0])
+        timers.start(cores=[0])
+        eng.run(until=lambda: timers.ticks >= 2, max_time=100_000)
+        assert timers.ticks == 2  # not doubled

@@ -1,0 +1,109 @@
+"""Unit tests for cache topologies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import topology as topo
+
+
+class TestQuadXeon:
+    """The paper's quad-core Xeon X5460: {0,1} and {2,3} share L2s."""
+
+    def setup_method(self):
+        self.t = topo.quad_xeon_x5460()
+
+    def test_ncores(self):
+        assert self.t.ncores == 4
+
+    def test_shared_l2_pairs(self):
+        assert self.t.shares_l2(0, 1)
+        assert self.t.shares_l2(2, 3)
+        assert not self.t.shares_l2(0, 2)
+        assert not self.t.shares_l2(1, 3)
+
+    def test_all_same_chip(self):
+        for a in range(4):
+            for b in range(4):
+                assert self.t.same_chip(a, b)
+
+    def test_paper_costs(self):
+        # Fig. 8: same core free, shared cache +400 ns, no shared cache +1.2 us
+        assert self.t.transfer_ns(0, 0) == 0
+        assert self.t.transfer_ns(0, 1) == 400
+        assert self.t.transfer_ns(0, 2) == 1_200
+        assert self.t.transfer_ns(0, 3) == 1_200
+
+    def test_distance_labels(self):
+        assert self.t.distance(0, 0) == "same-core"
+        assert self.t.distance(0, 1) == "shared-l2"
+        assert self.t.distance(0, 3) == "same-chip"
+
+
+class TestDualQuadXeon:
+    """§4.1 in-text: dual quad-core results: 400 ns / 2.3 us / 3.1 us."""
+
+    def setup_method(self):
+        self.t = topo.dual_quad_xeon()
+
+    def test_ncores(self):
+        assert self.t.ncores == 8
+
+    def test_paper_costs(self):
+        assert self.t.transfer_ns(0, 1) == 400
+        assert self.t.transfer_ns(0, 2) == 2_300
+        assert self.t.transfer_ns(0, 3) == 2_300
+        for other in (4, 5, 6, 7):
+            assert self.t.transfer_ns(0, other) == 3_100
+
+    def test_chips(self):
+        assert self.t.same_chip(0, 3)
+        assert not self.t.same_chip(0, 4)
+        assert self.t.distance(0, 4) == "cross-chip"
+
+
+class TestSymmetryAndValidation:
+    @given(st.integers(0, 7), st.integers(0, 7))
+    def test_transfer_symmetric(self, a, b):
+        t = topo.dual_quad_xeon()
+        assert t.transfer_ns(a, b) == t.transfer_ns(b, a)
+
+    @given(st.integers(0, 7))
+    def test_self_transfer_free(self, a):
+        assert topo.dual_quad_xeon().transfer_ns(a, a) == 0
+
+    def test_unknown_core_rejected(self):
+        with pytest.raises(ValueError):
+            topo.quad_xeon_x5460().transfer_ns(0, 9)
+
+    def test_duplicate_core_in_l2_groups(self):
+        with pytest.raises(ValueError):
+            topo.CacheTopology("bad", ((0, 1), (1,)), ((0, 1),))
+
+    def test_l2_group_spanning_chips(self):
+        with pytest.raises(ValueError):
+            topo.CacheTopology("bad", ((0, 1),), ((0,), (1,)))
+
+    def test_non_contiguous_cores(self):
+        with pytest.raises(ValueError):
+            topo.CacheTopology("bad", ((0, 2),), ((0, 2),))
+
+    def test_l2_chip_cover_mismatch(self):
+        with pytest.raises(ValueError):
+            topo.CacheTopology("bad", ((0, 1),), ((0,),))
+
+
+class TestHelpers:
+    def test_single_core(self):
+        t = topo.single_core()
+        assert t.ncores == 1
+        assert t.transfer_ns(0, 0) == 0
+
+    def test_uniform(self):
+        t = topo.uniform(3, transfer_ns=55)
+        assert t.ncores == 3
+        assert t.transfer_ns(0, 2) == 55
+        assert t.transfer_ns(1, 1) == 0
+
+    def test_uniform_rejects_zero(self):
+        with pytest.raises(ValueError):
+            topo.uniform(0)

@@ -1,0 +1,171 @@
+"""Unit tests for the execution tracer."""
+
+import pytest
+
+from repro.sim import (
+    Acquire,
+    Block,
+    Delay,
+    Engine,
+    Machine,
+    Release,
+    SpinLock,
+    quad_xeon_x5460,
+)
+from repro.sim.trace import Tracer
+
+
+def traced_machine():
+    eng = Engine()
+    m = Machine(eng, quad_xeon_x5460())
+    tracer = Tracer()
+    m.attach_tracer(tracer)
+    return eng, m, tracer
+
+
+class TestTracerBasics:
+    def test_dispatch_and_retire_recorded(self):
+        eng, m, tracer = traced_machine()
+
+        def work():
+            yield Delay(100)
+
+        t = m.scheduler.spawn(work(), name="w", core=0)
+        eng.run(until=lambda: t.done)
+        kinds = tracer.counts()
+        assert kinds.get("dispatch") == 1
+        assert kinds.get("retire") == 1
+        assert tracer.of_thread("w")
+
+    def test_context_switch_recorded(self):
+        eng, m, tracer = traced_machine()
+
+        def work():
+            yield Delay(100)
+
+        t1 = m.scheduler.spawn(work(), name="a", core=0, bound=True)
+        t2 = m.scheduler.spawn(work(), name="b", core=0, bound=True)
+        eng.run(until=lambda: t1.done and t2.done)
+        switches = tracer.of_kind("switch")
+        assert len(switches) == 1
+        assert switches[0].thread == "b"
+        assert "from a" in switches[0].detail
+
+    def test_block_wake_latency(self):
+        eng, m, tracer = traced_machine()
+        box = []
+
+        def waiter():
+            yield Block(queue=box, reason="test")
+
+        t = m.scheduler.spawn(waiter(), name="w", core=0)
+        eng.run(until=lambda: bool(box))
+        eng.schedule(500, lambda: m.scheduler.wake(box.pop()))
+        eng.run(until=lambda: t.done)
+        lats = tracer.block_latencies()
+        assert len(lats) == 1
+        assert lats[0][0] == "w"
+        assert lats[0][1] >= 500
+
+    def test_spin_episodes(self):
+        eng, m, tracer = traced_machine()
+        lock = SpinLock("l", costs=m.costs)
+
+        def holder():
+            yield Acquire(lock)
+            yield Delay(2_000)
+            yield Release(lock)
+
+        def contender():
+            yield Acquire(lock)
+            yield Release(lock)
+
+        th = m.scheduler.spawn(holder(), name="h", core=0, bound=True)
+        tc = m.scheduler.spawn(contender(), name="c", core=1, bound=True)
+        eng.run(until=lambda: th.done and tc.done)
+        episodes = tracer.spin_episodes()
+        assert len(episodes) == 1
+        thread, _start, duration = episodes[0]
+        assert thread == "c"
+        assert duration > 1_000
+        assert tracer.spin_time_ns() == duration
+
+    def test_no_tracer_no_overhead_path(self):
+        # machines without a tracer must run identically (smoke)
+        eng = Engine()
+        m = Machine(eng, quad_xeon_x5460())
+        assert m.tracer is None
+
+        def work():
+            yield Delay(10)
+
+        t = m.scheduler.spawn(work(), name="w")
+        eng.run(until=lambda: t.done)
+
+
+class TestTracerQueries:
+    def test_between(self):
+        tracer = Tracer()
+
+        class FakeThread:
+            name = "x"
+
+        for time in (10, 20, 30):
+            tracer.record(time, "dispatch", FakeThread(), 0)
+        assert len(tracer.between(15, 30)) == 1
+
+    def test_bounded(self):
+        tracer = Tracer(max_events=2)
+
+        class FakeThread:
+            name = "x"
+
+        for time in range(5):
+            tracer.record(time, "dispatch", FakeThread(), 0)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_unknown_kind_rejected(self):
+        tracer = Tracer()
+
+        class FakeThread:
+            name = "x"
+
+        with pytest.raises(ValueError):
+            tracer.record(0, "teleport", FakeThread(), 0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(max_events=0)
+
+    def test_summary_and_dump(self):
+        eng, m, tracer = traced_machine()
+
+        def work():
+            yield Delay(100)
+
+        t = m.scheduler.spawn(work(), name="w", core=0)
+        eng.run(until=lambda: t.done)
+        table = tracer.summary_table()
+        assert "w" in table and "dispatches" in table
+        lines = list(tracer.dump(limit=1))
+        assert len(lines) == 1
+        assert "dispatch" in lines[0]
+
+
+class TestTracedPingpong:
+    def test_passive_wait_trace_shows_block_wake_cycle(self):
+        from repro.bench.pingpong import run_pingpong
+        from repro.core import PassiveWait, build_testbed
+        from repro.pioman import attach_pioman
+
+        bed = build_testbed(policy="fine")
+        tracer = Tracer()
+        bed.machine(0).attach_tracer(tracer)
+        for node in (0, 1):
+            attach_pioman(bed.machine(node), [bed.lib(node)], poll_cores=[0])
+        run_pingpong(bed, 8, iterations=4, warmup=1, wait_factory=PassiveWait)
+        counts = tracer.counts()
+        assert counts.get("block", 0) >= 4  # the app blocked each iteration
+        assert counts.get("wake", 0) >= 4
+        assert counts.get("switch", 0) >= 4

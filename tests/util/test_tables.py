@@ -1,0 +1,45 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["size", "lat"], [["1K", 3.5], ["2K", 4.25]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["size", "lat"]
+        assert set(lines[1]) <= {"-", " "}
+        assert "3.50" in lines[2]
+        assert "4.25" in lines[3]
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Figure 3")
+        assert out.splitlines()[0] == "Figure 3"
+        assert out.splitlines()[1].startswith("=")
+
+    def test_first_column_left_aligned(self):
+        out = render_table(["name", "v"], [["x", 1], ["longer", 2]])
+        row = out.splitlines()[2]
+        assert row.startswith("x ")
+
+    def test_numbers_right_aligned(self):
+        out = render_table(["n", "value"], [["a", 7]])
+        assert out.splitlines()[2].endswith("7")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_custom_float_fmt(self):
+        out = render_table(["x"], [[1.23456]], float_fmt="{:.4f}")
+        assert "1.2346" in out
+
+    def test_bool_not_float_formatted(self):
+        out = render_table(["ok"], [[True]])
+        assert "True" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2

@@ -1,0 +1,91 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import units
+
+
+class TestParseSize:
+    def test_plain_int(self):
+        assert units.parse_size(17) == 17
+
+    def test_zero(self):
+        assert units.parse_size(0) == 0
+
+    def test_digit_string(self):
+        assert units.parse_size("512") == 512
+
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("1K", 1024),
+            ("2K", 2048),
+            ("32K", 32 * 1024),
+            ("1k", 1024),
+            ("4KB", 4096),
+            ("1M", 1024 * 1024),
+            ("2MB", 2 * 1024 * 1024),
+            ("8B", 8),
+            (" 16K ", 16 * 1024),
+        ],
+    )
+    def test_suffixes(self, spec, expected):
+        assert units.parse_size(spec) == expected
+
+    @pytest.mark.parametrize("bad", ["", "K", "1Q", "-3", "1.5K", "one", None, 1.5, []])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            units.parse_size(bad)
+
+    def test_negative_int(self):
+        with pytest.raises(ValueError):
+            units.parse_size(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            units.parse_size(True)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_roundtrip_through_format(self, n):
+        assert units.parse_size(units.format_size(n)) == n
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, "0"), (1, "1"), (100, "100"), (1024, "1K"), (2048, "2K"), (1536, "1536"),
+         (1024 * 1024, "1M"), (32 * 1024, "32K")],
+    )
+    def test_labels(self, n, expected):
+        assert units.format_size(n) == expected
+
+
+class TestTimeConversions:
+    def test_us_to_ns(self):
+        assert units.us_to_ns(1) == 1000
+        assert units.us_to_ns(2.5) == 2500
+        assert units.us_to_ns(0.0001) == 0
+
+    def test_ns_to_us(self):
+        assert units.ns_to_us(1500) == 1.5
+
+    @given(st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_roundtrip(self, us):
+        assert units.ns_to_us(units.us_to_ns(us)) == pytest.approx(us, abs=1e-3)
+
+    def test_constants(self):
+        assert units.US == 1_000
+        assert units.MS == 1_000_000
+        assert units.SEC == 1_000_000_000
+        assert units.KIB == 1024
+
+
+class TestFormatNs:
+    @pytest.mark.parametrize(
+        "ns,expected",
+        [(140, "140 ns"), (999, "999 ns"), (2500, "2.50 us"), (750, "750 ns"),
+         (1_500_000, "1.500 ms"), (2_000_000_000, "2.000 s")],
+    )
+    def test_scales(self, ns, expected):
+        assert units.format_ns(ns) == expected

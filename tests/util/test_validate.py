@@ -1,0 +1,59 @@
+"""Unit tests for repro.util.validate."""
+
+import pytest
+
+from repro.util.validate import check_in, check_nonneg, check_pos, check_type
+
+
+class TestCheckType:
+    def test_pass(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_tuple(self):
+        assert check_type("x", 3.0, (int, float)) == 3.0
+
+    def test_fail_message(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "s", int)
+
+    def test_fail_tuple_message(self):
+        with pytest.raises(TypeError, match="int or float"):
+            check_type("x", "s", (int, float))
+
+
+class TestCheckNonneg:
+    def test_zero_ok(self):
+        assert check_nonneg("n", 0) == 0
+
+    def test_negative(self):
+        with pytest.raises(ValueError, match="n must be >= 0"):
+            check_nonneg("n", -1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            check_nonneg("n", True)
+
+    def test_non_number(self):
+        with pytest.raises(TypeError):
+            check_nonneg("n", "3")
+
+
+class TestCheckPos:
+    def test_positive(self):
+        assert check_pos("n", 0.5) == 0.5
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_pos("n", 0)
+
+
+class TestCheckIn:
+    def test_member(self):
+        assert check_in("mode", "a", ["a", "b"]) == "a"
+
+    def test_not_member(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            check_in("mode", "z", ["a", "b"])
+
+    def test_accepts_generator(self):
+        assert check_in("m", 2, (i for i in range(3))) == 2
