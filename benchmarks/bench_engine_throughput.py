@@ -1,0 +1,127 @@
+"""Engine-throughput microbenchmark: tracks the sim core's speed over PRs.
+
+Two numbers matter for the perf trajectory:
+
+* **events/sec** — raw discrete-event engine throughput (a timer-cascade
+  storm with no scheduler on top) and the same number through the full
+  NewMadeleine/Marcel stack (a pingpong workload);
+* **full-suite wall-clock** — the time to regenerate every figure with
+  ``--quick``, i.e. what a contributor actually waits for.
+
+Both are written to ``BENCH_engine.json`` at the repository root so
+successive PRs can diff them.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+or via pytest-benchmark (``pytest benchmarks/bench_engine_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # standalone: make src/ importable without -e install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import figures
+from repro.bench.pingpong import run_pingpong
+from repro.core.session import build_testbed
+from repro.sim.engine import Engine
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: event-storm shape: enough chained events to hide timer resolution,
+#: few enough to finish in well under a second
+STORM_CHAINS = 8
+STORM_EVENTS = 200_000
+
+
+def engine_event_storm(
+    n_chains: int = STORM_CHAINS, events: int = STORM_EVENTS
+) -> float:
+    """Raw engine events/sec: ``n_chains`` independent timer cascades."""
+    eng = Engine()
+    per_chain = events // n_chains
+
+    def tick(chain: int, left: int) -> None:
+        if left:
+            eng.schedule(10, tick, chain, left - 1)
+
+    for chain in range(n_chains):
+        eng.schedule(chain, tick, chain, per_chain)
+    t0 = time.perf_counter()
+    eng.run()
+    elapsed = time.perf_counter() - t0
+    return eng.events_run / elapsed
+
+
+def stack_pingpong_rate(size: int = 1024, iterations: int = 200) -> float:
+    """Events/sec through the full library stack (scheduler, locks, NIC
+    model): a fine-locking pingpong, the workload most figures run."""
+    bed = build_testbed(policy="fine")
+    t0 = time.perf_counter()
+    run_pingpong(bed, size, iterations=iterations, warmup=4)
+    elapsed = time.perf_counter() - t0
+    return bed.engine.events_run / elapsed
+
+
+def full_suite_wall_clock() -> dict:
+    """Wall-clock seconds to regenerate every figure with ``--quick``."""
+    import contextlib
+    import io
+
+    per_figure: dict[str, float] = {}
+    t_total = time.perf_counter()
+    for name in sorted(figures.FIGURES):
+        t0 = time.perf_counter()
+        with contextlib.redirect_stdout(io.StringIO()):
+            figures.render(name, quick=True)
+        per_figure[name] = round(time.perf_counter() - t0, 3)
+    return {
+        "total_s": round(time.perf_counter() - t_total, 3),
+        "per_figure_s": per_figure,
+    }
+
+
+def collect(*, best_of: int = 3) -> dict:
+    """Measure everything; events/sec numbers take the best of ``best_of``
+    runs (the max is the least noisy statistic for a throughput)."""
+    return {
+        "python": platform.python_version(),
+        "engine_events_per_sec": round(
+            max(engine_event_storm() for _ in range(best_of))
+        ),
+        "stack_pingpong_events_per_sec": round(
+            max(stack_pingpong_rate() for _ in range(best_of))
+        ),
+        "full_suite_quick": full_suite_wall_clock(),
+    }
+
+
+def write_report(path: Path = OUTPUT) -> dict:
+    data = collect()
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return data
+
+
+def test_engine_throughput(benchmark):
+    """pytest-benchmark entry: times the raw storm, then writes the full
+    BENCH_engine.json report."""
+    rate = benchmark.pedantic(engine_event_storm, rounds=3, iterations=1)
+    assert rate is not None
+    data = write_report()
+    benchmark.extra_info["engine_events_per_sec"] = data["engine_events_per_sec"]
+    benchmark.extra_info["full_suite_quick_s"] = data["full_suite_quick"]["total_s"]
+    assert data["engine_events_per_sec"] > 0
+    assert data["full_suite_quick"]["total_s"] > 0
+    assert OUTPUT.exists()
+
+
+if __name__ == "__main__":
+    report = write_report()
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {OUTPUT}")

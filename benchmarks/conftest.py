@@ -5,7 +5,9 @@ in-text results) under pytest-benchmark, prints the same series the paper
 plots, records the measured values in ``extra_info``, and asserts the
 shape claims from :mod:`repro.bench.paper`.
 
-Set ``REPRO_BENCH_QUICK=1`` to run reduced sweeps.
+Set ``REPRO_BENCH_QUICK=1`` to run reduced sweeps and
+``REPRO_BENCH_WORKERS=N`` to fan each figure's sweep out to N worker
+processes (same results, less wall-clock).
 """
 
 import os
@@ -13,15 +15,17 @@ import os
 import pytest
 
 from repro.bench import figures
+from repro.bench.parallel import resolve_workers
 from repro.bench.report import print_figure
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+WORKERS = resolve_workers()
 
 
 def regenerate(benchmark, name: str):
     """Run one figure once under the benchmark timer; print and check it."""
     result = benchmark.pedantic(
-        lambda: figures.FIGURES[name](QUICK), rounds=1, iterations=1
+        lambda: figures.FIGURES[name](QUICK, workers=WORKERS), rounds=1, iterations=1
     )
     results, checks = result
     print()

@@ -29,7 +29,8 @@ class Summary:
     def __str__(self) -> str:
         return (
             f"n={self.n} mean={self.mean:.3f} median={self.median:.3f} "
-            f"std={self.std:.3f} min={self.minimum:.3f} max={self.maximum:.3f}"
+            f"std={self.std:.3f} min={self.minimum:.3f} max={self.maximum:.3f} "
+            f"p95={self.p95:.3f}"
         )
 
 

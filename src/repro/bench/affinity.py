@@ -9,6 +9,7 @@ polling core to CPU 0.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.bench.config import BenchConfig
@@ -19,7 +20,7 @@ from repro.core.waiting import BusyWait, FlagSpinWait
 from repro.pioman.integration import attach_pioman
 from repro.sim.process import Delay, SimGen, YieldCore
 from repro.sim.topology import CacheTopology, dual_quad_xeon, quad_xeon_x5460
-from repro.util.records import ResultRecord, ResultSet
+from repro.util.records import ResultSet
 
 
 def polling_latency(
@@ -63,9 +64,7 @@ def run_fig8(cfg: BenchConfig | None = None) -> ResultSet:
     """Figure 8: polling on CPU 0/1/2/3 of the quad-core Xeon X5460."""
     cfg = cfg or BenchConfig()
     configs = {
-        f"polling on cpu {core}": (
-            lambda size, c=core: polling_latency(c, size, cfg)
-        )
+        f"polling on cpu {core}": partial(polling_latency, core, cfg=cfg)
         for core in range(4)
     }
     return run_sweep("fig8", configs, cfg)
@@ -79,10 +78,8 @@ def run_fig8b(cfg: BenchConfig | None = None) -> ResultSet:
     """
     cfg = cfg or BenchConfig()
     configs = {
-        f"polling on cpu {core}": (
-            lambda size, c=core: polling_latency(
-                c, size, cfg, topology_factory=dual_quad_xeon
-            )
+        f"polling on cpu {core}": partial(
+            polling_latency, core, cfg=cfg, topology_factory=dual_quad_xeon
         )
         for core in (0, 1, 2, 4)
     }

@@ -9,7 +9,8 @@ identical.  ``PAPER_SIZES`` is the x axis of Figures 3, 5, 6 and 7
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 
 from repro.util.units import parse_size
 
@@ -31,6 +32,8 @@ class BenchConfig:
     jitter_ns: int = 0
     #: hard ceiling on simulated time per point (debugging aid)
     max_time_ns: int = 20_000_000_000
+    #: worker processes for the sweep (None = REPRO_BENCH_WORKERS, else 1)
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -39,6 +42,8 @@ class BenchConfig:
             raise ValueError("need 0 <= warmup < iterations")
         if not self.sizes:
             raise ValueError("sizes must be non-empty")
+        if self.workers is not None and self.workers <= 0:
+            raise ValueError("workers must be > 0 (or None for the default)")
 
     @classmethod
     def quick(cls, sizes: tuple[int, ...] | None = None) -> "BenchConfig":
@@ -48,11 +53,8 @@ class BenchConfig:
     def with_sizes(self, specs) -> "BenchConfig":
         """Copy with sizes parsed from ints or '2K'-style strings."""
         parsed = tuple(parse_size(s) for s in specs)
-        return BenchConfig(
-            iterations=self.iterations,
-            warmup=self.warmup,
-            sizes=parsed,
-            seed=self.seed,
-            jitter_ns=self.jitter_ns,
-            max_time_ns=self.max_time_ns,
-        )
+        return dataclasses.replace(self, sizes=parsed)
+
+    def with_workers(self, workers: int | None) -> "BenchConfig":
+        """Copy with a different sweep worker count."""
+        return dataclasses.replace(self, workers=workers)

@@ -4,9 +4,15 @@ Each ``fig*``/``text_*`` function measures, evaluates the paper claims and
 returns ``(ResultSet, checks)``; :func:`render` prints the figure-style
 table plus verdicts.  Command line::
 
-    python -m repro.bench.figures fig3          # one figure
-    python -m repro.bench.figures all           # everything (slow)
-    python -m repro.bench.figures fig8 --quick  # reduced sweep
+    python -m repro.bench.figures fig3             # one figure
+    python -m repro.bench.figures all              # everything (slow)
+    python -m repro.bench.figures fig8 --quick     # reduced sweep
+    python -m repro.bench.figures all --workers 8  # parallel sweeps
+
+Every figure function accepts ``workers``: sweep points are measured on
+that many worker processes (``repro.bench.parallel``) with results
+deterministically identical to the sequential run.  ``workers=None``
+defers to the ``REPRO_BENCH_WORKERS`` environment variable.
 """
 
 from __future__ import annotations
@@ -15,9 +21,8 @@ import argparse
 from typing import Callable
 
 from repro.analysis.fit import constant_offset
-from repro.bench import affinity, lockcost, locking, waiting
+from repro.bench import affinity, lockcost, locking, overlap, waiting
 from repro.bench.config import OVERLAP_SIZES, PAPER_SIZES, BenchConfig
-from repro.bench.overlap import build_overlap_bed, run_overlap
 from repro.bench.paper import PaperClaim, claim
 from repro.bench.report import print_figure
 from repro.util.records import ResultRecord, ResultSet
@@ -31,22 +36,26 @@ FigureResult = tuple[ResultSet, list[tuple[PaperClaim, float]]]
 SWEEP_JITTER_NS = 150
 
 
-def _cfg(quick: bool, sizes=PAPER_SIZES) -> BenchConfig:
+def _cfg(
+    quick: bool, sizes=PAPER_SIZES, workers: int | None = None
+) -> BenchConfig:
     if quick:
         return BenchConfig(
             iterations=24,
             warmup=4,
             sizes=tuple(sizes[::3]) or sizes[:1],
             jitter_ns=SWEEP_JITTER_NS,
+            workers=workers,
         )
     return BenchConfig(
-        iterations=48, warmup=4, sizes=sizes, jitter_ns=SWEEP_JITTER_NS
+        iterations=48, warmup=4, sizes=sizes, jitter_ns=SWEEP_JITTER_NS,
+        workers=workers,
     )
 
 
-def fig3(quick: bool = False) -> FigureResult:
+def fig3(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """Figure 3: impact of locking on latency."""
-    results = locking.run_fig3(_cfg(quick))
+    results = locking.run_fig3(_cfg(quick, workers=workers))
     offsets = locking.fig3_offsets(results)
     coarse_fit = constant_offset(results.series("none"), results.series("coarse"))
     checks = [
@@ -57,7 +66,7 @@ def fig3(quick: bool = False) -> FigureResult:
     return results, checks
 
 
-def fig5(quick: bool = False) -> FigureResult:
+def fig5(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """Figure 5: concurrent pingpongs.
 
     The paper's claims are evaluated at the node's saturation flow count
@@ -65,7 +74,7 @@ def fig5(quick: bool = False) -> FigureResult:
     MX path has about twice the message capacity of the 2009 stack, so the
     two-thread saturation of the paper appears at four flows here.
     """
-    results = locking.run_fig5(_cfg(quick))
+    results = locking.run_fig5(_cfg(quick, workers=workers))
     ratios = locking.fig5_ratios(results)
     sat = locking.FIG5_SATURATION_FLOWS
 
@@ -82,17 +91,17 @@ def fig5(quick: bool = False) -> FigureResult:
     return results, checks
 
 
-def fig6(quick: bool = False) -> FigureResult:
+def fig6(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """Figure 6: impact of PIOMan on latency."""
-    results = waiting.run_fig6(_cfg(quick))
+    results = waiting.run_fig6(_cfg(quick, workers=workers))
     fit = constant_offset(results.series("fine"), results.series("pioman (fine)"))
     checks = [(claim("fig6-pioman-offset"), fit.offset_ns * 1_000)]
     return results, checks
 
 
-def fig7(quick: bool = False) -> FigureResult:
+def fig7(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """Figure 7: impact of semaphores (passive waiting) on latency."""
-    results = waiting.run_fig7(_cfg(quick))
+    results = waiting.run_fig7(_cfg(quick, workers=workers))
     fit = constant_offset(
         results.series("active (fine)"), results.series("passive (fine)")
     )
@@ -100,9 +109,9 @@ def fig7(quick: bool = False) -> FigureResult:
     return results, checks
 
 
-def fig8(quick: bool = False) -> FigureResult:
+def fig8(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """Figure 8: impact of cache affinity on a quad-core chip."""
-    results = affinity.run_fig8(_cfg(quick))
+    results = affinity.run_fig8(_cfg(quick, workers=workers))
     deltas = affinity.affinity_deltas(results)
     far = (deltas["polling on cpu 2"] + deltas["polling on cpu 3"]) / 2
     checks = [
@@ -112,9 +121,9 @@ def fig8(quick: bool = False) -> FigureResult:
     return results, checks
 
 
-def fig8b(quick: bool = False) -> FigureResult:
+def fig8b(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """§4.1 in-text: cache affinity on the dual quad-core node."""
-    results = affinity.run_fig8b(_cfg(quick))
+    results = affinity.run_fig8b(_cfg(quick, workers=workers))
     deltas = affinity.affinity_deltas(results)
     checks = [
         (claim("fig8b-shared-l2"), deltas["polling on cpu 1"]),
@@ -124,18 +133,10 @@ def fig8b(quick: bool = False) -> FigureResult:
     return results, checks
 
 
-def fig9(quick: bool = False) -> FigureResult:
+def fig9(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """Figure 9: impact of tasklets on deferred message submission."""
-    cfg = _cfg(quick, sizes=OVERLAP_SIZES)
-    results = ResultSet()
-    labels = {"inline": "reference", "idle-core": "no tasklets", "tasklet": "tasklets"}
-    for mode, label in labels.items():
-        for size in cfg.sizes:
-            bed = build_overlap_bed(mode)
-            res = run_overlap(
-                bed, size, iterations=cfg.iterations, warmup=cfg.warmup
-            )
-            results.add(ResultRecord("fig9", label, size, res.latency_us))
+    cfg = _cfg(quick, sizes=OVERLAP_SIZES, workers=workers)
+    results = overlap.run_fig9(cfg)
     ref = results.series("reference")
     tasklet_fit = constant_offset(ref, results.series("tasklets"))
     idle_fit = constant_offset(ref, results.series("no tasklets"))
@@ -146,7 +147,7 @@ def fig9(quick: bool = False) -> FigureResult:
     return results, checks
 
 
-def text_lockcost(quick: bool = False) -> FigureResult:
+def text_lockcost(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """§3.1 text: the 70 ns spinlock cycle and per-message lock counts."""
     cycles = 100 if quick else 1_000
     cycle_ns = lockcost.measure_spin_cycle_ns(cycles)
@@ -164,7 +165,7 @@ def text_lockcost(quick: bool = False) -> FigureResult:
     return results, checks
 
 
-def text_dedicated_core(quick: bool = False) -> FigureResult:
+def text_dedicated_core(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """§3.3 text: dedicating 1 of 4 cores costs up to 25 % of compute."""
     duration = 500_000 if quick else 2_000_000
     loss = affinity.dedicated_core_loss(duration_ns=duration)
@@ -176,7 +177,7 @@ def text_dedicated_core(quick: bool = False) -> FigureResult:
     return results, checks
 
 
-def text_fixed_spin(quick: bool = False) -> FigureResult:
+def text_fixed_spin(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """§3.3 text: the fixed-spin algorithm avoids switches for fast events."""
     iters = 6 if quick else 12
     results = waiting.run_fixed_spin_sweep(iterations=iters)
@@ -191,7 +192,7 @@ def text_fixed_spin(quick: bool = False) -> FigureResult:
     return results, checks
 
 
-def decompose(quick: bool = False) -> FigureResult:
+def decompose(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     """Extension: one-way latency decomposition per policy (§1's method:
     'decomposing each step of thread support')."""
     from repro.analysis.decompose import decompose_message
@@ -214,7 +215,7 @@ def decompose(quick: bool = False) -> FigureResult:
     return results, []
 
 
-FIGURES: dict[str, Callable[[bool], FigureResult]] = {
+FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig3": fig3,
     "fig5": fig5,
     "fig6": fig6,
@@ -243,24 +244,33 @@ TITLES = {
 }
 
 
-def render(name: str, *, quick: bool = False) -> str:
+def render(name: str, *, quick: bool = False, workers: int | None = None) -> str:
     """Measure and print one artefact; returns the report text."""
     try:
         fn = FIGURES[name]
     except KeyError:
         raise KeyError(f"unknown figure {name!r}; known: {sorted(FIGURES)}") from None
-    results, checks = fn(quick)
-    return print_figure(results, title=TITLES[name], checks=checks)
+    results, checks = fn(quick, workers=workers)
+    note = f"sweep: {workers} worker processes" if workers and workers > 1 else None
+    return print_figure(results, title=TITLES[name], checks=checks, note=note)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="Regenerate the paper's figures")
     parser.add_argument("figure", choices=sorted(FIGURES) + ["all"])
     parser.add_argument("--quick", action="store_true", help="reduced sweep")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per sweep (default: $REPRO_BENCH_WORKERS or 1); "
+        "results are identical to a sequential run",
+    )
     args = parser.parse_args(argv)
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
-        render(name, quick=args.quick)
+        render(name, quick=args.quick, workers=args.workers)
         print()
     return 0
 

@@ -8,7 +8,6 @@ message under each policy.
 
 from __future__ import annotations
 
-from repro.bench.pingpong import run_pingpong
 from repro.core.session import build_testbed
 from repro.sim import Acquire, Delay, Engine, Machine, Release, SpinLock, quad_xeon_x5460
 

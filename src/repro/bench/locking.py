@@ -1,13 +1,20 @@
-"""Measurement functions for the locking experiments (Figures 3 and 5)."""
+"""Measurement functions for the locking experiments (Figures 3 and 5).
+
+All point functions are module-level and composed with
+:func:`functools.partial`, so sweeps can cross a process boundary when
+``run_sweep`` runs with ``workers > 1``.
+"""
 
 from __future__ import annotations
+
+from functools import partial
 
 from repro.analysis.fit import constant_offset, ratio_series
 from repro.bench.config import BenchConfig
 from repro.bench.pingpong import run_concurrent_pingpong, run_pingpong
 from repro.bench.runner import run_sweep
 from repro.core.session import build_testbed
-from repro.util.records import ResultRecord, ResultSet
+from repro.util.records import ResultSet
 
 FIG3_POLICIES = ("none", "coarse", "fine")
 
@@ -26,7 +33,7 @@ def run_fig3(cfg: BenchConfig | None = None) -> ResultSet:
     cfg = cfg or BenchConfig()
     return run_sweep(
         "fig3",
-        {p: (lambda size, p=p: fig3_point(p, size, cfg)) for p in FIG3_POLICIES},
+        {p: partial(fig3_point, p, cfg=cfg) for p in FIG3_POLICIES},
         cfg,
     )
 
@@ -55,6 +62,33 @@ FIG5_SATURATION_FLOWS = 4
 FIG5_JITTER_NS = 120
 
 
+def fig5_single_point(size: int, cfg: BenchConfig) -> float:
+    """Single-thread baseline latency (us) for Figure 5 (fine locking,
+    no jitter — one flow cannot collide with itself)."""
+    bed = build_testbed(policy="fine", seed=cfg.seed)
+    res = run_pingpong(bed, size, iterations=cfg.iterations, warmup=cfg.warmup)
+    return res.latency_us
+
+
+def fig5_concurrent_point(
+    policy: str, nflows: int, size: int, cfg: BenchConfig
+) -> float:
+    """Mean per-flow latency (us) of ``nflows`` concurrent pingpongs."""
+    bed = build_testbed(policy=policy, seed=cfg.seed, jitter_ns=FIG5_JITTER_NS)
+    flows = run_concurrent_pingpong(
+        bed, size, nflows=nflows, iterations=cfg.iterations, warmup=cfg.warmup
+    )
+    return sum(f.latency_us for f in flows) / len(flows)
+
+
+def _fig5_extra(name: str, size: int) -> dict:
+    """Recover the ``nflows`` annotation from a series label like
+    ``"coarse (4 threads)"``; the baseline gets no extra."""
+    if "(" not in name:
+        return {}
+    return {"nflows": int(name.split("(", 1)[1].split()[0])}
+
+
 def run_fig5(
     cfg: BenchConfig | None = None, *, flow_counts: tuple[int, ...] = (2, FIG5_SATURATION_FLOWS)
 ) -> ResultSet:
@@ -64,36 +98,13 @@ def run_fig5(
     per-flow latency under coarse and fine locking for each flow count.
     """
     cfg = cfg or BenchConfig()
-    results = ResultSet()
-    for size in cfg.sizes:
-        bed = build_testbed(policy="fine", seed=cfg.seed)
-        single = run_pingpong(
-            bed, size, iterations=cfg.iterations, warmup=cfg.warmup
-        )
-        results.add(ResultRecord("fig5", "1 thread", size, single.latency_us))
-        for policy in ("coarse", "fine"):
-            for nflows in flow_counts:
-                bed = build_testbed(
-                    policy=policy, seed=cfg.seed, jitter_ns=FIG5_JITTER_NS
-                )
-                flows = run_concurrent_pingpong(
-                    bed,
-                    size,
-                    nflows=nflows,
-                    iterations=cfg.iterations,
-                    warmup=cfg.warmup,
-                )
-                mean_us = sum(f.latency_us for f in flows) / len(flows)
-                results.add(
-                    ResultRecord(
-                        "fig5",
-                        f"{policy} ({nflows} threads)",
-                        size,
-                        mean_us,
-                        extra={"nflows": nflows},
-                    )
-                )
-    return results
+    configs = {"1 thread": partial(fig5_single_point, cfg=cfg)}
+    for policy in ("coarse", "fine"):
+        for nflows in flow_counts:
+            configs[f"{policy} ({nflows} threads)"] = partial(
+                fig5_concurrent_point, policy, nflows, cfg=cfg
+            )
+    return run_sweep("fig5", configs, cfg, extra=_fig5_extra)
 
 
 def fig5_ratios(results: ResultSet) -> dict[str, list[tuple[int, float]]]:

@@ -14,7 +14,11 @@ differ in *who* submits the message to the network:
 
 from __future__ import annotations
 
+from functools import partial
+
+from repro.bench.config import BenchConfig
 from repro.bench.pingpong import PingPongResult, run_pingpong
+from repro.util.records import ResultSet
 from repro.core.session import TestBed, build_testbed
 from repro.core.waiting import BusyWait
 from repro.pioman.integration import attach_pioman
@@ -75,3 +79,30 @@ def run_overlap(
         wait_factory=BusyWait,
         compute_ns=compute_ns,
     )
+
+
+#: Fig. 9 series labels, keyed by submission mode (insertion order is the
+#: figure's series order: reference first)
+FIG9_LABELS = {"inline": "reference", "idle-core": "no tasklets", "tasklet": "tasklets"}
+
+
+def overlap_point(mode: str, size: int, cfg: BenchConfig) -> float:
+    """One Fig. 9 latency point (us): fresh testbed, one offload mode.
+
+    Module-level (not a closure) so ``run_sweep`` can ship it to worker
+    processes via :func:`functools.partial`.
+    """
+    bed = build_overlap_bed(mode)
+    res = run_overlap(bed, size, iterations=cfg.iterations, warmup=cfg.warmup)
+    return res.latency_us
+
+
+def run_fig9(cfg: BenchConfig) -> ResultSet:
+    """Figure 9: deferred-submission latency per offload mode."""
+    from repro.bench.runner import run_sweep
+
+    configs = {
+        label: partial(overlap_point, mode, cfg=cfg)
+        for mode, label in FIG9_LABELS.items()
+    }
+    return run_sweep("fig9", configs, cfg)

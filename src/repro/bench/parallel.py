@@ -1,0 +1,123 @@
+"""Parallel sweep execution: fan independent (config, size) points out
+to a process pool.
+
+Every sweep point builds its own fresh testbed inside its ``PointFn``
+(see :mod:`repro.bench.runner`), so points are fully independent — like
+separate benchmark runs on the paper's cluster — and can execute in any
+order on any process.  This module supplies the worker-pool machinery:
+
+* :func:`resolve_workers` — pick the worker count from an explicit
+  argument, the ``REPRO_BENCH_WORKERS`` environment variable, or the
+  sequential default of 1;
+* :func:`points_picklable` — decide whether a sweep can cross a process
+  boundary at all (closures can't; ``functools.partial`` over
+  module-level functions can);
+* :func:`run_points_parallel` — execute the full grid on a pool and
+  reassemble the per-point results **in sequential order**, so the
+  returned list is indistinguishable from a sequential run.
+
+Determinism: the task list is built config-major/size-minor exactly like
+the sequential loop, ``Pool.map`` returns results positionally, and each
+point's simulation is seeded by its own testbed — so the merged
+ResultSet serializes byte-identically to the sequential one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Callable, Mapping, Sequence
+
+#: environment variable consulted when no explicit worker count is given
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
+#: measures one (config, size) point; returns latency in microseconds
+PointFn = Callable[[int], float]
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve the effective worker count.
+
+    Precedence: explicit ``workers`` argument, then the
+    ``REPRO_BENCH_WORKERS`` environment variable, then 1 (sequential).
+
+    Raises:
+        ValueError: on a non-positive or non-integer setting.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    if workers <= 0:
+        raise ValueError(f"workers must be > 0, got {workers}")
+    return workers
+
+
+def points_picklable(
+    configs: Mapping[str, PointFn],
+    extra: Callable[[str, int], dict] | None = None,
+) -> bool:
+    """True when every point function (and ``extra``) survives pickling.
+
+    Lambdas and locally-defined closures do not; the benchmark modules
+    therefore express their points as ``functools.partial`` over
+    module-level measurement functions.  A non-picklable sweep silently
+    falls back to in-process execution — parallelism is an optimisation,
+    never a requirement.
+    """
+    try:
+        for fn in configs.values():
+            pickle.dumps(fn)
+        if extra is not None:
+            pickle.dumps(extra)
+    except Exception:
+        return False
+    return True
+
+
+def _measure_point(task: tuple[str, PointFn, int]) -> float:
+    """Worker-side shim: run one point.  Must stay module-level so the
+    pool can import it under the ``spawn`` start method."""
+    _name, fn, size = task
+    return fn(size)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """``fork`` where available (cheap, inherits sys.path), else the
+    platform default (``spawn`` on Windows/macOS)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_points_parallel(
+    configs: Mapping[str, PointFn],
+    sizes: Sequence[int],
+    workers: int,
+) -> list[tuple[str, int, float]]:
+    """Measure the whole (config, size) grid on ``workers`` processes.
+
+    Returns ``(config, size, latency_us)`` triples in **sequential sweep
+    order** (config-major, size-minor), regardless of which worker
+    finished first — ``Pool.map`` keeps results positionally aligned
+    with the task list.
+    """
+    tasks = [
+        (name, fn, size) for name, fn in configs.items() for size in sizes
+    ]
+    nproc = min(workers, len(tasks))
+    ctx = _pool_context()
+    with ctx.Pool(processes=nproc) as pool:
+        latencies = pool.map(_measure_point, tasks, chunksize=1)
+    return [
+        (name, size, latency)
+        for (name, _fn, size), latency in zip(tasks, latencies)
+    ]

@@ -41,9 +41,17 @@ def print_figure(
     *,
     title: str,
     checks: list[tuple[PaperClaim, float]] | None = None,
+    note: str | None = None,
 ) -> str:
-    """Render (and print) a full figure report; returns the text."""
+    """Render (and print) a full figure report; returns the text.
+
+    ``note`` is a free-form provenance line (e.g. the sweep's worker
+    count) appended after the table — kept out of the ResultSet itself so
+    parallel and sequential runs stay byte-identical on disk.
+    """
     parts = [figure_table(results, title=title)]
+    if note:
+        parts.append(f"({note})")
     if checks:
         parts.append("")
         parts.append(verdict_block(checks))

@@ -2,13 +2,35 @@
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Mapping
 
 from repro.bench.config import BenchConfig
+from repro.bench.parallel import (
+    points_picklable,
+    resolve_workers,
+    run_points_parallel,
+)
 from repro.util.records import ResultRecord, ResultSet
 
 #: measures one (config, size) point; returns latency in microseconds
 PointFn = Callable[[int], float]
+
+
+def _check_latency(name: str, size: int, latency_us: float) -> None:
+    """Reject non-finite (NaN/inf) and negative latencies loudly.
+
+    ``latency < 0`` alone is not enough: ``NaN < 0`` is False, so a NaN
+    would sail through and poison every downstream fit/ratio.
+    """
+    if not math.isfinite(latency_us):
+        raise ValueError(
+            f"non-finite latency from config {name!r} at size {size}: {latency_us}"
+        )
+    if latency_us < 0:
+        raise ValueError(
+            f"negative latency from config {name!r} at size {size}: {latency_us}"
+        )
 
 
 def run_sweep(
@@ -17,22 +39,48 @@ def run_sweep(
     cfg: BenchConfig,
     *,
     extra: Callable[[str, int], dict] | None = None,
+    workers: int | None = None,
 ) -> ResultSet:
     """Measure every (config, size) combination.
 
     Each point builds its own fresh testbed inside ``PointFn`` — points are
-    fully independent, like separate benchmark runs on the paper's cluster.
+    fully independent, like separate benchmark runs on the paper's cluster —
+    which is what makes the grid embarrassingly parallel.
+
+    Args:
+        workers: worker processes for the grid.  Defaults to
+            ``cfg.workers``, then the ``REPRO_BENCH_WORKERS`` environment
+            variable, then 1 (fully sequential, in-process).  Any
+            ``workers > 1`` sweep whose point functions cannot be pickled
+            (lambdas, closures) silently falls back to the sequential
+            path; either way the returned ResultSet has the same records
+            in the same order with the same JSON serialization.
     """
     if not configs:
         raise ValueError("run_sweep needs at least one config")
+    nworkers = resolve_workers(cfg.workers if workers is None else workers)
     results = ResultSet()
+    if nworkers > 1 and len(cfg.sizes) * len(configs) > 1 and points_picklable(
+        configs, extra
+    ):
+        for name, size, latency_us in run_points_parallel(
+            configs, cfg.sizes, nworkers
+        ):
+            _check_latency(name, size, latency_us)
+            results.add(
+                ResultRecord(
+                    experiment=experiment,
+                    config=name,
+                    size=size,
+                    latency_us=latency_us,
+                    extra=extra(name, size) if extra else {},
+                )
+            )
+        return results
     for name, fn in configs.items():
         for size in cfg.sizes:
             latency_us = fn(size)
-            if latency_us < 0:
-                raise ValueError(
-                    f"negative latency from {name!r} at size {size}: {latency_us}"
-                )
+            _check_latency(name, size, latency_us)
             results.add(
                 ResultRecord(
                     experiment=experiment,

@@ -11,6 +11,7 @@ each driver preset, plus the locking overheads measured per technology
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Type
 
 from repro.bench.config import BenchConfig
@@ -55,10 +56,7 @@ def run_technology_sweep(cfg: BenchConfig | None = None) -> ResultSet:
     cfg = cfg or BenchConfig()
     return run_sweep(
         "technologies",
-        {
-            tech: (lambda size, t=tech: technology_latency(t, size, cfg))
-            for tech in TECHNOLOGIES
-        },
+        {tech: partial(technology_latency, tech, cfg=cfg) for tech in TECHNOLOGIES},
         cfg,
     )
 

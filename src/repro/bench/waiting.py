@@ -9,6 +9,7 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.bench.config import BenchConfig
@@ -61,11 +62,11 @@ def run_fig6(cfg: BenchConfig | None = None) -> ResultSet:
     cfg = cfg or BenchConfig()
     configs = {}
     for policy in ("coarse", "fine"):
-        configs[f"{policy}"] = (
-            lambda size, p=policy: _latency(p, size, cfg, BusyWait, pioman=False)
+        configs[f"{policy}"] = partial(
+            _latency, policy, cfg=cfg, wait_factory=BusyWait, pioman=False
         )
-        configs[f"pioman ({policy})"] = (
-            lambda size, p=policy: _latency(p, size, cfg, PiomanBusyWait, pioman=True)
+        configs[f"pioman ({policy})"] = partial(
+            _latency, policy, cfg=cfg, wait_factory=PiomanBusyWait, pioman=True
         )
     return run_sweep("fig6", configs, cfg)
 
@@ -75,11 +76,11 @@ def run_fig7(cfg: BenchConfig | None = None) -> ResultSet:
     cfg = cfg or BenchConfig()
     configs = {}
     for policy in ("coarse", "fine"):
-        configs[f"active ({policy})"] = (
-            lambda size, p=policy: _latency(p, size, cfg, PiomanBusyWait, pioman=True)
+        configs[f"active ({policy})"] = partial(
+            _latency, policy, cfg=cfg, wait_factory=PiomanBusyWait, pioman=True
         )
-        configs[f"passive ({policy})"] = (
-            lambda size, p=policy: _latency(p, size, cfg, PassiveWait, pioman=True)
+        configs[f"passive ({policy})"] = partial(
+            _latency, policy, cfg=cfg, wait_factory=PassiveWait, pioman=True
         )
     return run_sweep("fig7", configs, cfg)
 

@@ -16,24 +16,29 @@ from __future__ import annotations
 import itertools
 import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.rt.channel import LoopbackLink
 from repro.rt.locks import RTLockingPolicy, make_rt_policy
 from repro.rt.timing import now_ns
 
-_seq = itertools.count(1)
-
 
 @dataclass
 class RTMessage:
-    """Wire unit of the live engine."""
+    """Wire unit of the live engine.
+
+    ``seq`` is assigned by the sending :class:`RTLibrary` from its own
+    per-library counter (not module state): a process-wide counter would
+    make ``seq`` values depend on whatever ran earlier in the process,
+    so repeated runs — or runs split across worker processes — could not
+    be compared message-by-message.
+    """
 
     tag: int
     size: int
     payload: Any = None
-    seq: int = field(default_factory=lambda: next(_seq))
+    seq: int = 0
 
 
 class RTRequest:
@@ -71,6 +76,9 @@ class RTLibrary:
         self.link = link
         self.endpoint = endpoint
         self.policy = make_rt_policy(policy) if isinstance(policy, str) else policy
+        #: per-library send sequence — fresh for every endpoint, so seq
+        #: values are reproducible run-to-run and across processes
+        self._seq = itertools.count(1)
         self._collect: deque[RTMessage] = deque()
         self._posted: deque[RTRequest] = deque()
         self._unexpected: deque[RTMessage] = deque()
@@ -86,7 +94,9 @@ class RTLibrary:
         req = RTRequest(tag, size)
         with self.policy.send_section():
             with self.policy.collect_lock():
-                self._collect.append(RTMessage(tag, size, payload))
+                self._collect.append(
+                    RTMessage(tag, size, payload, seq=next(self._seq))
+                )
             with self.policy.tx_lock():
                 while self._collect:
                     msg = self._collect.popleft()

@@ -59,7 +59,11 @@ class Engine:
         delay_ns = int(delay_ns)
         if delay_ns < 0:
             raise ValueError(f"cannot schedule in the past: delay {delay_ns}")
-        return self.schedule_at(self.now + delay_ns, fn, *args)
+        # hot path: inlined schedule_at (one call frame per event matters)
+        handle = EventHandle(self.now + delay_ns, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
 
     def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` at absolute time ``time_ns``."""
@@ -111,21 +115,26 @@ class Engine:
         if until is not None and until():
             return "until"
         self._running = True
+        # the loop below is the simulator's hottest code: locals shave an
+        # attribute lookup per touch, and the unlimited/no-predicate run —
+        # the common case — skips every guard it can
+        queue = self._queue
+        heappop = heapq.heappop
+        events_this_run = 0
         try:
-            events_this_run = 0
-            while self._queue:
-                handle = heapq.heappop(self._queue)
+            while queue:
+                handle = heappop(queue)
                 if handle.cancelled:
                     continue
-                if max_time is not None and handle.time > max_time:
+                time = handle.time
+                if max_time is not None and time > max_time:
                     raise SimTimeLimit(
                         f"simulation exceeded max_time={max_time} ns (now={self.now})"
                     )
                 if max_events is not None and events_this_run >= max_events:
                     raise SimTimeLimit(f"simulation exceeded max_events={max_events}")
-                assert handle.time >= self.now, "event queue went backwards"
-                self.now = handle.time
-                self._events_run += 1
+                assert time >= self.now, "event queue went backwards"
+                self.now = time
                 events_this_run += 1
                 handle.fn(*handle.args)
                 if until is not None and until():
@@ -137,4 +146,5 @@ class Engine:
                 )
             return "drained"
         finally:
+            self._events_run += events_this_run
             self._running = False

@@ -149,7 +149,27 @@ class SimThread:
 
     Create via :meth:`repro.sim.scheduler.Marcel.spawn`; never instantiate
     directly in user code.
+
+    ``__slots__``: concurrent benchmarks create one SimThread per flow per
+    iteration, so the per-instance dict is measurable allocation traffic.
     """
+
+    __slots__ = (
+        "tid",
+        "gen",
+        "name",
+        "state",
+        "core",
+        "bound",
+        "is_idle",
+        "placed_on",
+        "result",
+        "exc",
+        "_finish_cbs",
+        "_sleep_handle",
+        "_spin_since",
+        "_resume_value",
+    )
 
     _counter = 0
 

@@ -45,6 +45,54 @@ from repro.sim.process import (
 )
 
 
+# ---------------------------------------------------------------- dispatch table
+#
+# ``_advance`` is the simulator's hottest function after the engine loop
+# itself: it classifies one effect per thread step.  A dict lookup on the
+# concrete effect class replaces the isinstance chain; effect *subclasses*
+# (allowed by the protocol) resolve through the chain once and are then
+# cached, so steady state is a single dict hit per effect.
+
+_EFF_INVALID = 0
+_EFF_WHERE = 1
+_EFF_WHO = 2
+_EFF_DELAY = 3
+_EFF_ACQUIRE = 4
+_EFF_RELEASE = 5
+_EFF_TRY = 6
+_EFF_BLOCK = 7
+_EFF_SLEEP = 8
+_EFF_YIELD = 9
+
+#: isinstance fallback, in the original chain order (subclass support)
+_EFFECT_BASES: tuple[tuple[type, int], ...] = (
+    (WhereAmI, _EFF_WHERE),
+    (WhoAmI, _EFF_WHO),
+    (Delay, _EFF_DELAY),
+    (Acquire, _EFF_ACQUIRE),
+    (Release, _EFF_RELEASE),
+    (TryAcquire, _EFF_TRY),
+    (Block, _EFF_BLOCK),
+    (Sleep, _EFF_SLEEP),
+    (YieldCore, _EFF_YIELD),
+)
+
+#: concrete class -> code cache, pre-seeded with the primitive effects
+_EFFECT_CODES: dict[type, int] = {cls: code for cls, code in _EFFECT_BASES}
+
+
+def _resolve_effect_code(eff: Any) -> int:
+    """Slow path: classify an effect subclass (or reject a non-effect) and
+    cache the verdict for its class."""
+    for base, code in _EFFECT_BASES:
+        if isinstance(eff, base):
+            break
+    else:
+        code = _EFF_INVALID
+    _EFFECT_CODES[type(eff)] = code
+    return code
+
+
 class Marcel:
     """The per-machine thread scheduler."""
 
@@ -194,9 +242,12 @@ class Marcel:
         send = value if value is not None else thread._resume_value
         thread._resume_value = None
         gen = thread.gen
+        gen_send = gen.send
+        effect_codes = _EFFECT_CODES
+        engine_schedule = self.engine.schedule
         while True:
             try:
-                eff = gen.send(send)
+                eff = gen_send(send)
             except StopIteration as stop:
                 self._retire(core, thread, stop.value, None)
                 return
@@ -205,58 +256,61 @@ class Marcel:
                 raise SimThreadError(thread, f"thread {thread.name!r} raised") from exc
             send = None
 
-            if isinstance(eff, WhereAmI):
-                send = core.index
-                continue
-            if isinstance(eff, WhoAmI):
-                send = thread
-                continue
-            if isinstance(eff, Delay):
+            code = effect_codes.get(type(eff))
+            if code is None:
+                code = _resolve_effect_code(eff)
+            if code == _EFF_DELAY:
                 if eff.ns == 0:
                     continue
                 core.account(eff.category, eff.ns)
-                self.engine.schedule(eff.ns, self._advance, thread)
+                engine_schedule(eff.ns, self._advance, thread)
                 return
-            if isinstance(eff, Acquire):
+            if code == _EFF_WHERE:
+                send = core.index
+                continue
+            if code == _EFF_WHO:
+                send = thread
+                continue
+            if code == _EFF_ACQUIRE:
                 lock = eff.lock
                 if lock.is_null:
                     continue
                 core.account("lock", lock.acquire_ns)
-                self.engine.schedule(lock.acquire_ns, self._acquire_attempt, thread, lock)
+                engine_schedule(lock.acquire_ns, self._acquire_attempt, thread, lock)
                 return
-            if isinstance(eff, Release):
+            if code == _EFF_RELEASE:
                 lock = eff.lock
                 if lock.is_null:
                     continue
                 core.account("lock", lock.release_ns)
-                self.engine.schedule(lock.release_ns, self._do_release, thread, lock)
+                engine_schedule(lock.release_ns, self._do_release, thread, lock)
                 return
-            if isinstance(eff, TryAcquire):
+            if code == _EFF_TRY:
                 lock = eff.lock
                 if lock.is_null:
                     send = True
                     continue
                 core.account("lock", lock.acquire_ns)
-                self.engine.schedule(lock.acquire_ns, self._try_attempt, thread, lock)
+                engine_schedule(lock.acquire_ns, self._try_attempt, thread, lock)
                 return
-            if isinstance(eff, Block):
+            if code == _EFF_BLOCK:
                 if eff.queue is not None:
                     eff.queue.append(thread)
                 thread.state = ThreadState.BLOCKED
                 self.machine._trace("block", thread, core.index, eff.reason)
                 self._leave_core(core, thread)
                 return
-            if isinstance(eff, Sleep):
+            if code == _EFF_SLEEP:
                 thread.state = ThreadState.SLEEPING
                 if not thread.is_idle:
                     self.machine._trace("sleep", thread, core.index)
                 if eff.ns is not None:
-                    thread._sleep_handle = self.engine.schedule(
+                    thread._sleep_handle = engine_schedule(
                         eff.ns, self._sleep_done, thread
                     )
                 self._leave_core(core, thread)
                 return
-            if isinstance(eff, YieldCore):
+            if code == _EFF_YIELD:
                 if thread.is_idle:
                     thread.state = ThreadState.READY
                     self._leave_core(core, thread)
@@ -268,7 +322,7 @@ class Marcel:
                     return
                 # nobody to yield to: go through the event queue so that
                 # same-timestamp events interleave, then continue
-                self.engine.schedule(0, self._advance, thread)
+                engine_schedule(0, self._advance, thread)
                 return
             raise SimProtocolError(f"thread {thread.name!r} yielded invalid effect {eff!r}")
 

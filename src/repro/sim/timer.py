@@ -18,7 +18,7 @@ from repro.sim.engine import EventHandle
 from repro.sim.process import run_inline
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.machine import Core, Machine
+    from repro.sim.machine import Machine
 
 
 class TimerSystem:

@@ -51,6 +51,14 @@ class ResultRecord:
             extra=dict(d.get("extra", {})),
         )
 
+    def sort_key(self) -> tuple[str, str, int]:
+        """Stable grid key: (experiment, config, size).
+
+        Used by :meth:`ResultSet.sorted` and by the parallel sweep runner to
+        prove that a merged set covers the same grid as a sequential one.
+        """
+        return (self.experiment, self.config, self.size)
+
 
 class ResultSet:
     """An ordered collection of :class:`ResultRecord` with figure-style views."""
@@ -62,6 +70,24 @@ class ResultSet:
 
     def add(self, record: ResultRecord) -> None:
         self._records.append(record)
+
+    def extend(self, records: Iterable[ResultRecord]) -> None:
+        """Append ``records`` preserving their order."""
+        self._records.extend(records)
+
+    @classmethod
+    def merge(cls, sets: Iterable["ResultSet"]) -> "ResultSet":
+        """Concatenate several sets into one.
+
+        Record order is the concatenation order: all records of the first
+        set (in their original order), then the second, and so on — the
+        contract the parallel sweep runner relies on to reassemble
+        per-worker results into the sequential ordering.
+        """
+        merged = cls()
+        for s in sets:
+            merged.extend(s)
+        return merged
 
     def __len__(self) -> int:
         return len(self._records)
@@ -76,6 +102,18 @@ class ResultSet:
 
     def filter(self, pred: Callable[[ResultRecord], bool]) -> "ResultSet":
         return ResultSet(r for r in self._records if pred(r))
+
+    def sorted(
+        self, key: Callable[[ResultRecord], Any] | None = None
+    ) -> "ResultSet":
+        """A copy sorted by ``key`` (default :meth:`ResultRecord.sort_key`).
+
+        The sort is stable: records with equal keys keep their relative
+        order, so duplicated points survive a round trip unchanged.
+        """
+        return ResultSet(
+            sorted(self._records, key=key or ResultRecord.sort_key)
+        )
 
     def configs(self) -> list[str]:
         """Distinct config labels, in first-seen order."""

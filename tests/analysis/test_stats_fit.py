@@ -138,3 +138,15 @@ class TestRatioSeries:
     def test_disjoint_rejected(self):
         with pytest.raises(ValueError):
             ratio_series([(1, 1.0)], [(2, 1.0)])
+
+
+class TestSummaryStr:
+    def test_str_includes_every_field(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        text = str(s)
+        for key in ("n=", "mean=", "median=", "std=", "min=", "max=", "p95="):
+            assert key in text, f"{key!r} missing from {text!r}"
+
+    def test_str_p95_value(self):
+        s = summarize([0.0] * 19 + [100.0])
+        assert f"p95={s.p95:.3f}" in str(s)

@@ -1,0 +1,185 @@
+"""Tests for the parallel sweep runner (repro.bench.parallel).
+
+The headline guarantee: a ``workers=2`` sweep returns a ResultSet with
+the same records, in the same order, with the same JSON serialization as
+the sequential sweep — parallelism is pure wall-clock optimisation.
+"""
+
+import math
+from functools import partial
+
+import pytest
+
+from repro.bench import locking, waiting
+from repro.bench.config import BenchConfig
+from repro.bench.parallel import (
+    WORKERS_ENV,
+    points_picklable,
+    resolve_workers,
+)
+from repro.bench.runner import run_sweep
+from repro.util.records import ResultRecord, ResultSet
+
+#: reduced sweep: enough sizes to exercise the grid, small enough for CI
+QUICK = BenchConfig(iterations=8, warmup=2, sizes=(1, 64, 1024), jitter_ns=150)
+
+
+def _linear_point(slope: float, size: int) -> float:
+    """Module-level (hence picklable) fake measurement."""
+    return slope * size + 1.0
+
+
+class TestWorkerResolution:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(None) == 1
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers() == 5
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            resolve_workers()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+    def test_config_validates_workers(self):
+        with pytest.raises(ValueError):
+            BenchConfig(workers=0)
+        assert BenchConfig(workers=2).workers == 2
+        assert BenchConfig().with_workers(4).workers == 4
+
+
+class TestPicklability:
+    def test_partials_over_module_functions_are_picklable(self):
+        assert points_picklable({"a": partial(_linear_point, 2.0)})
+
+    def test_lambdas_are_not(self):
+        assert not points_picklable({"a": lambda size: 1.0})
+
+    def test_extra_callback_participates(self):
+        configs = {"a": partial(_linear_point, 2.0)}
+        assert not points_picklable(configs, extra=lambda n, s: {})
+
+
+class TestRunSweepParallel:
+    def test_parallel_matches_sequential_synthetic(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2, 4, 8))
+        configs = {
+            "flat": partial(_linear_point, 0.0),
+            "steep": partial(_linear_point, 3.0),
+        }
+        seq = run_sweep("exp", configs, cfg)
+        par = run_sweep("exp", configs, cfg, workers=2)
+        assert seq.to_json() == par.to_json()
+        assert [r.sort_key() for r in seq] == [r.sort_key() for r in par]
+
+    def test_nonpicklable_falls_back_in_process(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2))
+        calls = []
+
+        def closure_point(size):
+            calls.append(size)
+            return float(size)
+
+        results = run_sweep("exp", {"a": closure_point}, cfg, workers=2)
+        assert calls == [1, 2], "fallback must run in this very process"
+        assert results.point("a", 2) == 2.0
+
+    def test_workers_from_config(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2), workers=2)
+        results = run_sweep("exp", {"a": partial(_linear_point, 1.0)}, cfg)
+        assert results.point("a", 2) == 3.0
+
+    def test_workers_from_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2))
+        results = run_sweep("exp", {"a": partial(_linear_point, 1.0)}, cfg)
+        assert len(results) == 2
+
+    def test_nan_latency_rejected_with_location(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(8,))
+        with pytest.raises(ValueError, match=r"'bad'.*size 8"):
+            run_sweep("exp", {"bad": lambda s: math.nan}, cfg)
+
+    def test_inf_latency_rejected(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(8,))
+        with pytest.raises(ValueError, match="non-finite"):
+            run_sweep("exp", {"bad": lambda s: math.inf}, cfg)
+
+    def test_nan_rejected_on_parallel_path(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(8, 16))
+        with pytest.raises(ValueError, match="non-finite"):
+            run_sweep("exp", {"bad": partial(_linear_point, math.nan)}, cfg, workers=2)
+
+
+class TestFigureDeterminism:
+    """E-series sweeps: parallel must serialize byte-identically."""
+
+    def test_fig3_parallel_identical(self):
+        seq = locking.run_fig3(QUICK)
+        par = locking.run_fig3(QUICK.with_workers(2))
+        assert seq.to_json() == par.to_json()
+
+    def test_fig7_parallel_identical(self):
+        seq = waiting.run_fig7(QUICK)
+        par = waiting.run_fig7(QUICK.with_workers(2))
+        assert seq.to_json() == par.to_json()
+
+
+class TestResultSetMerge:
+    def test_merge_preserves_record_order(self):
+        a = ResultSet(
+            [
+                ResultRecord("e", "c1", 1, 1.0),
+                ResultRecord("e", "c1", 2, 2.0),
+            ]
+        )
+        b = ResultSet([ResultRecord("e", "c2", 1, 3.0)])
+        merged = ResultSet.merge([a, b])
+        assert [(r.config, r.size) for r in merged] == [
+            ("c1", 1),
+            ("c1", 2),
+            ("c2", 1),
+        ]
+
+    def test_merge_of_split_halves_roundtrips(self):
+        records = [
+            ResultRecord("e", c, s, float(s)) for c in ("a", "b") for s in (1, 2, 4)
+        ]
+        whole = ResultSet(records)
+        halves = [ResultSet(records[:3]), ResultSet(records[3:])]
+        assert ResultSet.merge(halves).to_json() == whole.to_json()
+
+    def test_extend(self):
+        rs = ResultSet()
+        rs.extend([ResultRecord("e", "a", 1, 1.0)])
+        assert len(rs) == 1
+
+    def test_sorted_is_stable_on_grid_key(self):
+        shuffled = ResultSet(
+            [
+                ResultRecord("e", "b", 2, 1.0),
+                ResultRecord("e", "a", 2, 2.0),
+                ResultRecord("e", "a", 1, 3.0),
+                ResultRecord("e", "a", 1, 4.0),  # duplicate point keeps order
+            ]
+        )
+        ordered = shuffled.sorted()
+        assert [(r.config, r.size, r.latency_us) for r in ordered] == [
+            ("a", 1, 3.0),
+            ("a", 1, 4.0),
+            ("a", 2, 2.0),
+            ("b", 2, 1.0),
+        ]

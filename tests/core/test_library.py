@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core import BusyWait, PacketKind, ReqState, build_testbed
-from repro.core.session import build_testbed as build
+from repro.core import BusyWait, PacketKind, build_testbed
 from repro.sim.process import Delay
 
 

@@ -11,7 +11,6 @@ from repro.core import (
     build_testbed,
 )
 from repro.core.waiting import BusyWait
-from repro.sim.process import Delay
 
 
 def run_burst(strategy_factory, *, nmsgs=8, size=256, rails=1, policy="none"):

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.madmpi import BYTE, DOUBLE, INT, Datatype, MPIError, Status, ThreadLevel
+from repro.madmpi import BYTE, DOUBLE, INT, Datatype, Status, ThreadLevel
 from repro.madmpi.mpi import _object_size
 
 

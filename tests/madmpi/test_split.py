@@ -2,8 +2,6 @@
 
 import operator
 
-import pytest
-
 from repro.core import build_testbed
 from repro.madmpi import ANY_TAG, BYTE, create_world, run_ranks
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.overlap import build_overlap_bed, make_offload, run_overlap
 from repro.core import PacketKind
-from repro.pioman.offload import IdleCoreSubmit, InlineSubmit, TaskletSubmit, set_offload
+from repro.pioman.offload import IdleCoreSubmit, InlineSubmit, TaskletSubmit
 
 
 class TestFactories:

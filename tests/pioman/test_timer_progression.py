@@ -5,8 +5,6 @@ idle loops can poll; the timer hook's interrupt-context poll is the
 liveness backstop.
 """
 
-import pytest
-
 from repro.core import build_testbed
 from repro.pioman import attach_pioman
 from repro.sim.process import Delay

@@ -212,3 +212,26 @@ class TestTiming:
             timer_overhead_ns(0)
         with pytest.raises(ValueError):
             rt_lock_overhead_ns("none", cycles=0)
+
+
+class TestMessageSequence:
+    def test_seq_is_per_library(self):
+        """Each endpoint numbers its own sends from 1: a process-global
+        counter would make seq values depend on what ran earlier, so
+        repetitions and cross-process runs could not be compared."""
+        lib_a, lib_b = build_rt_pair("none")
+        for i in range(3):
+            lib_a.isend(tag=i, size=8)
+        lib_b.isend(tag=99, size=8)
+        seqs_a = [lib_b.link.poll(1).seq for _ in range(3)]
+        seq_b = lib_a.link.poll(0).seq
+        assert seqs_a == [1, 2, 3]
+        assert seq_b == 1, "fresh library must restart from 1"
+
+    def test_seq_resets_with_fresh_pair(self):
+        first, _ = build_rt_pair("none")
+        first.isend(tag=0, size=8)
+        first.isend(tag=1, size=8)
+        fresh, _ = build_rt_pair("none")
+        fresh.isend(tag=0, size=8)
+        assert fresh.link.poll(1).seq == 1

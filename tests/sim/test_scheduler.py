@@ -6,7 +6,6 @@ from repro.sim import (
     Delay,
     Engine,
     Machine,
-    SimCosts,
     SimDeadlock,
     SimThreadError,
     Sleep,

@@ -22,7 +22,6 @@ from repro.sim import (
     check_lock_invariants,
     quad_xeon_x5460,
 )
-from repro.sim.debug import InvariantViolation
 
 # one instruction of a random thread program
 instruction = st.one_of(
