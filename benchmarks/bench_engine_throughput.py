@@ -59,14 +59,58 @@ def engine_event_storm(
     return eng.events_run / elapsed
 
 
-def stack_pingpong_rate(size: int = 1024, iterations: int = 200) -> float:
+def stack_pingpong_rate(
+    size: int = 1024, iterations: int = 200, *, traced: bool = False
+) -> float:
     """Events/sec through the full library stack (scheduler, locks, NIC
-    model): a fine-locking pingpong, the workload most figures run."""
+    model): a fine-locking pingpong, the workload most figures run.
+
+    ``traced=True`` attaches a :class:`repro.sim.trace.Tracer` to every
+    machine, measuring the observability layer's recording cost.
+    """
     bed = build_testbed(policy="fine")
+    if traced:
+        from repro.sim.trace import Tracer
+
+        for machine in bed.machines:
+            machine.attach_tracer(Tracer(max_events=1_000_000))
     t0 = time.perf_counter()
     run_pingpong(bed, size, iterations=iterations, warmup=4)
     elapsed = time.perf_counter() - t0
     return bed.engine.events_run / elapsed
+
+
+def tracing_overhead(*, best_of: int = 3, baseline: float | None = None) -> dict:
+    """Stack throughput with tracing off vs. on.
+
+    ``disabled_overhead_pct`` compares the untraced run against
+    ``baseline`` (the same-run ``stack_pingpong_events_per_sec``
+    measurement): both exercise the identical no-tracer path, so the
+    delta bounds measurement noise and guards the figure sweeps' hot
+    path — the tracing hooks must stay effectively free (<2 %) when no
+    tracer is attached.  Cross-PR regressions show up in the history of
+    ``stack_pingpong_events_per_sec`` itself.
+
+    Samples are interleaved (off/on/off/on...): sequential blocks would
+    let CPU frequency ramp-up bias whichever block runs later by far
+    more than the effect being measured.
+    """
+    disabled_samples, enabled_samples = [], []
+    for _ in range(best_of):
+        disabled_samples.append(stack_pingpong_rate())
+        enabled_samples.append(stack_pingpong_rate(traced=True))
+    disabled = max(disabled_samples)
+    enabled = max(enabled_samples)
+    out = {
+        "disabled_events_per_sec": round(disabled),
+        "enabled_events_per_sec": round(enabled),
+        "enabled_overhead_pct": round(100.0 * (1.0 - enabled / disabled), 2),
+    }
+    if baseline:
+        out["disabled_overhead_pct"] = round(
+            100.0 * (1.0 - disabled / baseline), 2
+        )
+    return out
 
 
 def full_suite_wall_clock() -> dict:
@@ -90,14 +134,15 @@ def full_suite_wall_clock() -> dict:
 def collect(*, best_of: int = 3) -> dict:
     """Measure everything; events/sec numbers take the best of ``best_of``
     runs (the max is the least noisy statistic for a throughput)."""
+    stack_pingpong_rate()  # warm-up: let CPU frequency scaling settle
+    stack_rate = max(stack_pingpong_rate() for _ in range(best_of))
     return {
         "python": platform.python_version(),
         "engine_events_per_sec": round(
             max(engine_event_storm() for _ in range(best_of))
         ),
-        "stack_pingpong_events_per_sec": round(
-            max(stack_pingpong_rate() for _ in range(best_of))
-        ),
+        "stack_pingpong_events_per_sec": round(stack_rate),
+        "tracing": tracing_overhead(best_of=best_of, baseline=stack_rate),
         "full_suite_quick": full_suite_wall_clock(),
     }
 

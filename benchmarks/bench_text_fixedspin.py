@@ -14,9 +14,9 @@ import pytest
 def test_fixed_spin_sweep(figure_runner):
     results = figure_runner("fixed-spin")
     # thresholds covering the 8 us event avoid the switch: visibly faster
-    pure_block = results.point("spin=0ns", 0)
-    covering = results.point("spin=10000ns", 10_000)
+    pure_block = results.point("fixed-spin wait", 0)
+    covering = results.point("fixed-spin wait", 10_000)
     assert covering < pure_block
     # thresholds below the event arrival pay the switch, like pure blocking
-    short_spin = results.point("spin=2000ns", 2_000)
+    short_spin = results.point("fixed-spin wait", 2_000)
     assert short_spin == pytest.approx(pure_block, rel=0.25)

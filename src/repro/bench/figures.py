@@ -184,8 +184,8 @@ def text_fixed_spin(quick: bool = False, *, workers: int | None = None) -> Figur
     # events arrive at 8 us: compare spin=20us (always spins through the
     # event) with spin=10us (also covers it) — they should agree with the
     # active-wait floor, unlike spin=0 (pure passive)
-    active_like = results.point("spin=20000ns", 20_000)
-    pure_passive = results.point("spin=0ns", 0)
+    active_like = results.point("fixed-spin wait", 20_000)
+    pure_passive = results.point("fixed-spin wait", 0)
     checks = [
         (claim("text-fixed-spin"), (active_like - pure_passive) * 1_000),
     ]
@@ -244,15 +244,51 @@ TITLES = {
 }
 
 
-def render(name: str, *, quick: bool = False, workers: int | None = None) -> str:
-    """Measure and print one artefact; returns the report text."""
+def render(
+    name: str,
+    *,
+    quick: bool = False,
+    workers: int | None = None,
+    trace: str | None = None,
+    metrics: bool = False,
+) -> str:
+    """Measure and print one artefact; returns the report text.
+
+    Args:
+        trace: path of a Chrome trace-event JSON to export (open it at
+            ui.perfetto.dev); covers every testbed the figure builds,
+            including points measured on worker processes.
+        metrics: also print the observability report (lock contention,
+            core utilization, PIOMan counters, overhead decomposition).
+    """
     try:
         fn = FIGURES[name]
     except KeyError:
         raise KeyError(f"unknown figure {name!r}; known: {sorted(FIGURES)}") from None
-    results, checks = fn(quick, workers=workers)
+    if trace is None and not metrics:
+        results, checks = fn(quick, workers=workers)
+        observation = None
+    else:
+        from repro.obs import capture as obs_capture
+
+        with obs_capture.observe(trace=trace is not None) as observation:
+            results, checks = fn(quick, workers=workers)
     note = f"sweep: {workers} worker processes" if workers and workers > 1 else None
-    return print_figure(results, title=TITLES[name], checks=checks, note=note)
+    text = print_figure(results, title=TITLES[name], checks=checks, note=note)
+    if observation is not None:
+        extra_parts = []
+        if metrics:
+            extra_parts.append(observation.metrics_registry().report())
+        if trace is not None:
+            doc = observation.export_chrome(trace)
+            extra_parts.append(
+                f"trace: {len(doc['traceEvents'])} trace events "
+                f"({observation.event_count()} scheduler events) -> {trace}"
+            )
+        extra = "\n\n".join(extra_parts)
+        print(extra)
+        text = text + "\n\n" + extra
+    return text
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -267,10 +303,29 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes per sweep (default: $REPRO_BENCH_WORKERS or 1); "
         "results are identical to a sequential run",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="export a Chrome trace-event JSON of every simulated testbed "
+        "(open at ui.perfetto.dev); with 'all', each figure gets its own "
+        "FILE suffixed by the figure name",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the observability report (locks, core utilization, "
+        "PIOMan, overhead decomposition) after each figure",
+    )
     args = parser.parse_args(argv)
     names = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for name in names:
-        render(name, quick=args.quick, workers=args.workers)
+        trace = args.trace
+        if trace is not None and len(names) > 1:
+            stem, dot, ext = trace.rpartition(".")
+            trace = f"{stem}-{name}.{ext}" if dot else f"{trace}-{name}"
+        render(name, quick=args.quick, workers=args.workers,
+               trace=trace, metrics=args.metrics)
         print()
     return 0
 

@@ -82,11 +82,25 @@ def points_picklable(
     return True
 
 
-def _measure_point(task: tuple[str, PointFn, int]) -> float:
+def _measure_point(task: tuple) -> float | tuple[float, dict]:
     """Worker-side shim: run one point.  Must stay module-level so the
-    pool can import it under the ``spawn`` start method."""
-    _name, fn, size = task
-    return fn(size)
+    pool can import it under the ``spawn`` start method.
+
+    With a 4th ``(trace, max_events)`` element, the point runs under the
+    worker's own observation context (:mod:`repro.obs.capture`) and the
+    serialized capture rides back with the measurement, so the parent can
+    merge per-worker traces in deterministic sweep order.
+    """
+    _name, fn, size = task[:3]
+    spec = task[3] if len(task) > 3 else None
+    if spec is None:
+        return fn(size)
+    from repro.obs import capture as obs_capture
+
+    trace, max_events = spec
+    with obs_capture.observe(trace=trace, max_events=max_events) as obs:
+        latency = fn(size)
+    return latency, obs.serialize()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -102,22 +116,38 @@ def run_points_parallel(
     configs: Mapping[str, PointFn],
     sizes: Sequence[int],
     workers: int,
-) -> list[tuple[str, int, float]]:
+    *,
+    capture: tuple[bool, int] | None = None,
+) -> list[tuple]:
     """Measure the whole (config, size) grid on ``workers`` processes.
 
     Returns ``(config, size, latency_us)`` triples in **sequential sweep
     order** (config-major, size-minor), regardless of which worker
     finished first — ``Pool.map`` keeps results positionally aligned
     with the task list.
+
+    Args:
+        capture: optional ``(trace, max_events)`` observation spec; when
+            given, each point runs under its own worker-side observation
+            and the rows become ``(config, size, latency_us, snapshot)``
+            — snapshots arrive in sequential order, so merged traces are
+            deterministic.
     """
     tasks = [
-        (name, fn, size) for name, fn in configs.items() for size in sizes
+        (name, fn, size) if capture is None else (name, fn, size, capture)
+        for name, fn in configs.items()
+        for size in sizes
     ]
     nproc = min(workers, len(tasks))
     ctx = _pool_context()
     with ctx.Pool(processes=nproc) as pool:
-        latencies = pool.map(_measure_point, tasks, chunksize=1)
+        outcomes = pool.map(_measure_point, tasks, chunksize=1)
+    if capture is None:
+        return [
+            (task[0], task[2], latency)
+            for task, latency in zip(tasks, outcomes)
+        ]
     return [
-        (name, size, latency)
-        for (name, _fn, size), latency in zip(tasks, latencies)
+        (task[0], task[2], latency, snapshot)
+        for task, (latency, snapshot) in zip(tasks, outcomes)
     ]

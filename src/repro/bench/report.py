@@ -14,7 +14,13 @@ from repro.util.units import format_size
 
 
 def figure_table(results: ResultSet, *, title: str) -> str:
-    """Sizes x configurations latency table (µs), like a figure's data."""
+    """Sizes x configurations latency table (µs), like a figure's data.
+
+    Grid holes (a partially failed sweep) render as ``-`` **and** raise a
+    loud footnote with the exact missing cells — a partial figure must
+    never read like a complete one.  The hole count itself is available to
+    harnesses via :meth:`~repro.util.records.ResultSet.missing_points`.
+    """
     configs = results.configs()
     if not configs:
         raise ValueError("empty result set")
@@ -28,7 +34,18 @@ def figure_table(results: ResultSet, *, title: str) -> str:
             except KeyError:
                 row.append("-")
         rows.append(row)
-    return render_table(headers, rows, title=title)
+    text = render_table(headers, rows, title=title)
+    missing = results.missing_points()
+    if missing:
+        shown = ", ".join(
+            f"{config}@{format_size(size)}" for config, size in missing[:8]
+        )
+        if len(missing) > 8:
+            shown += ", ..."
+        text += (
+            f"\n!! INCOMPLETE SWEEP: {len(missing)} missing point(s): {shown}"
+        )
+    return text
 
 
 def verdict_block(checks: list[tuple[PaperClaim, float]]) -> str:

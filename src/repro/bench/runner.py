@@ -11,6 +11,7 @@ from repro.bench.parallel import (
     resolve_workers,
     run_points_parallel,
 )
+from repro.obs import capture as obs_capture
 from repro.util.records import ResultRecord, ResultSet
 
 #: measures one (config, size) point; returns latency in microseconds
@@ -59,14 +60,27 @@ def run_sweep(
     if not configs:
         raise ValueError("run_sweep needs at least one config")
     nworkers = resolve_workers(cfg.workers if workers is None else workers)
+    observation = obs_capture.active()
     results = ResultSet()
     if nworkers > 1 and len(cfg.sizes) * len(configs) > 1 and points_picklable(
         configs, extra
     ):
-        for name, size, latency_us in run_points_parallel(
-            configs, cfg.sizes, nworkers
+        spec = (
+            (observation.trace, observation.max_events)
+            if observation is not None
+            else None
+        )
+        for row in run_points_parallel(
+            configs, cfg.sizes, nworkers, capture=spec
         ):
+            name, size, latency_us = row[0], row[1], row[2]
             _check_latency(name, size, latency_us)
+            if observation is not None:
+                # worker-side snapshots, absorbed in sequential sweep order
+                # so merged traces are deterministic
+                observation.absorb(
+                    row[3], label=f"{experiment}/{name}/{size}"
+                )
             results.add(
                 ResultRecord(
                     experiment=experiment,
@@ -79,6 +93,8 @@ def run_sweep(
         return results
     for name, fn in configs.items():
         for size in cfg.sizes:
+            if observation is not None:
+                observation.set_label(f"{experiment}/{name}/{size}")
             latency_us = fn(size)
             _check_latency(name, size, latency_us)
             results.add(

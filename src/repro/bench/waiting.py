@@ -129,8 +129,11 @@ def run_fixed_spin_sweep(
         mean_us = sum(steady) / len(steady) / 1_000
         results.add(
             ResultRecord(
+                # one series, spin threshold on the size axis: the sweep is
+                # 1-D, and a per-threshold config would render a diagonal
+                # table indistinguishable from a sweep full of holes
                 "fixed-spin",
-                f"spin={spin_ns}ns",
+                "fixed-spin wait",
                 spin_ns,
                 mean_us,
                 extra={"event_delay_ns": event_delay_ns},

@@ -573,6 +573,7 @@ class NewMadeleine:
         core = yield WhereAmI()
         transfer = self._descriptor_transfer_ns(packet, core)
         if transfer:
+            self.machine.transfer_charged_ns += transfer
             yield Delay(transfer, "overhead")
         yield from driver.post_send(packet)
         self.packets_posted[packet.kind] += 1

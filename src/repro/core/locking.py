@@ -86,6 +86,27 @@ class LockingPolicy:
         """Every distinct lock object (for stats)."""
         raise NotImplementedError
 
+    def lock_stats(self) -> list[dict[str, object]]:
+        """Per-lock counter snapshot consumed by :mod:`repro.obs`.
+
+        One row per distinct lock object: acquisitions, contentions, and
+        the hold-time statistics the scheduler records on grant/release.
+        """
+        rows: list[dict[str, object]] = []
+        for lock in self.lock_objects():
+            rows.append(
+                {
+                    "name": lock.name,
+                    "acquisitions": lock.acquisitions,
+                    "contentions": lock.contentions,
+                    "holds": lock.holds,
+                    "hold_ns_total": lock.hold_ns_total,
+                    "hold_max_ns": lock.hold_max_ns,
+                    "hold_hist": dict(lock.hold_hist),
+                }
+            )
+        return rows
+
     def __repr__(self) -> str:
         return f"<LockingPolicy {self.name}>"
 

@@ -17,6 +17,7 @@ from repro.core.strategies import DefaultStrategy, Strategy
 from repro.net.drivers.base import Driver
 from repro.net.drivers.mx import MXDriver
 from repro.net.fabric import Fabric, wire_pair
+from repro.obs import capture as obs_capture
 from repro.sim.costs import SimCosts
 from repro.sim.engine import Engine
 from repro.sim.machine import Machine
@@ -146,7 +147,7 @@ def build_testbed(
         for b in range(nodes):
             if a != b:
                 libs[a].add_peer(b, pair_drivers[(a, b)])
-    return TestBed(
+    bed = TestBed(
         engine=engine,
         fabric=fabric,
         machines=machines,
@@ -154,3 +155,9 @@ def build_testbed(
         costs=costs,
         drivers=pair_drivers,
     )
+    # observability: while an observation context is active (repro.obs),
+    # every testbed registers itself so traces/metrics cover the whole run
+    observation = obs_capture.active()
+    if observation is not None:
+        observation.on_testbed(bed)
+    return bed

@@ -1,0 +1,44 @@
+"""repro.obs — the observability layer.
+
+The paper's whole method is profiling ("we have extensively profiled the
+code", §1); this package makes the same visibility available at runtime
+on the simulated stack:
+
+* :mod:`repro.obs.capture` — an observation context that hooks testbed
+  construction (:func:`repro.core.session.build_testbed`), attaches
+  scheduler tracers, and snapshots per-lock / per-core / PIOMan counters,
+  including across the parallel sweep runner's process boundary;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` aggregating those
+  snapshots into lock-contention, core-utilization and PIOMan tables plus
+  the paper's §3/§4 overhead decomposition as a runtime report;
+* :mod:`repro.obs.chrometrace` — a Chrome trace-event JSON exporter
+  (Perfetto-loadable: one track per core, thread/spin slices, async block
+  spans, run-queue counter tracks).
+
+Typical use, programmatic::
+
+    from repro.obs import observe
+
+    with observe() as obs:
+        ...  # anything that builds testbeds via build_testbed()
+    obs.export_chrome("trace.json")
+    print(obs.metrics_registry().report())
+
+or from the figures CLI::
+
+    python -m repro.bench.figures fig3 --quick --trace trace.json --metrics
+"""
+
+from repro.obs.capture import Observation, active, observe
+from repro.obs.chrometrace import build_trace, validate_trace, write_trace
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "MetricsRegistry",
+    "Observation",
+    "active",
+    "build_trace",
+    "observe",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,233 @@
+"""Chrome trace-event JSON export: open scheduler traces in Perfetto.
+
+Converts capture snapshots (:meth:`repro.obs.capture.Observation.captures`)
+into the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+understood by ``ui.perfetto.dev`` and ``chrome://tracing``:
+
+* one *process* (pid) per captured machine, named ``label:machine``;
+* one *track* (tid) per core carrying complete ("X") slices — the running
+  thread, with nested ``spin:<lock>`` slices during active contention;
+* a ``blocked`` track carrying nestable async ("b"/"e") spans for
+  block→wake episodes;
+* counter ("C") events for per-core run-queue depth.
+
+Timestamps are microseconds (the format's unit); the simulator's integer
+nanoseconds divide by 1000, which preserves ordering exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+#: event phases this exporter emits / the validator accepts
+KNOWN_PHASES = frozenset("XBEbeiCM")
+
+#: metadata record names the validator accepts
+_META_NAMES = frozenset(
+    {"process_name", "process_labels", "process_sort_index", "thread_name",
+     "thread_sort_index"}
+)
+
+
+def _us(t_ns: int) -> float:
+    return t_ns / 1000.0
+
+
+def _machine_events(pid: int, label: str, m: dict) -> list[dict]:
+    ncores = m["ncores"]
+    blocked_tid = ncores
+    meta: list[dict] = [
+        {
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0, "ts": 0,
+            "args": {"name": f"{label}:{m['name']}"},
+        }
+    ]
+    for core in range(ncores):
+        meta.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": core,
+                "ts": 0, "args": {"name": f"core {core}"},
+            }
+        )
+    meta.append(
+        {
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": blocked_tid,
+            "ts": 0, "args": {"name": "blocked"},
+        }
+    )
+
+    out: list[dict] = []
+    end_ns = m["now"]
+    open_run: dict[int, tuple[str, int]] = {}  # core -> (thread, start)
+    open_spin: dict[str, list[tuple[int, int, str]]] = {}  # thread -> stack
+    open_block: dict[str, list[int]] = {}  # thread -> stack of start times
+    block_ids: dict[str, int] = {}  # thread -> stable async id
+
+    def close_run(core: int, t_ns: int) -> None:
+        cur = open_run.pop(core, None)
+        if cur is not None:
+            thread, start = cur
+            out.append(
+                {
+                    "ph": "X", "name": thread, "cat": "run", "pid": pid,
+                    "tid": core, "ts": _us(start), "dur": _us(t_ns - start),
+                }
+            )
+
+    for t_ns, kind, thread, core, detail in m["events"]:
+        if kind in ("dispatch", "switch"):
+            if core is None:
+                continue
+            close_run(core, t_ns)
+            open_run[core] = (thread, t_ns)
+        elif kind in ("block", "sleep", "retire"):
+            if core is not None:
+                cur = open_run.get(core)
+                if cur is not None and cur[0] == thread:
+                    close_run(core, t_ns)
+            if kind == "block":
+                open_block.setdefault(thread, []).append(t_ns)
+                bid = block_ids.setdefault(thread, len(block_ids) + 1)
+                out.append(
+                    {
+                        "ph": "b", "cat": "block", "name": "blocked",
+                        "id": bid, "pid": pid, "tid": blocked_tid,
+                        "ts": _us(t_ns),
+                        "args": {"thread": thread, "reason": detail},
+                    }
+                )
+        elif kind == "wake":
+            stack = open_block.get(thread)
+            if stack:
+                stack.pop()
+                out.append(
+                    {
+                        "ph": "e", "cat": "block", "name": "blocked",
+                        "id": block_ids[thread], "pid": pid,
+                        "tid": blocked_tid, "ts": _us(t_ns),
+                    }
+                )
+        elif kind == "spin-begin":
+            if core is not None:
+                open_spin.setdefault(thread, []).append((core, t_ns, detail))
+        elif kind == "spin-end":
+            stack = open_spin.get(thread)
+            if stack:
+                s_core, s_start, lock_name = stack.pop()
+                out.append(
+                    {
+                        "ph": "X", "name": f"spin:{lock_name}", "cat": "spin",
+                        "pid": pid, "tid": s_core, "ts": _us(s_start),
+                        "dur": _us(t_ns - s_start),
+                    }
+                )
+        elif kind == "runq":
+            if core is not None:
+                out.append(
+                    {
+                        "ph": "C", "name": f"runq core{core}", "pid": pid,
+                        "tid": core, "ts": _us(t_ns),
+                        "args": {"depth": int(detail) if detail else 0},
+                    }
+                )
+        # dispatch bookkeeping kinds with no visual mapping (kick) are skipped
+
+    # close everything still open at the machine's horizon
+    for core in list(open_run):
+        close_run(core, end_ns)
+    for stack in open_spin.values():
+        for s_core, s_start, lock_name in stack:
+            out.append(
+                {
+                    "ph": "X", "name": f"spin:{lock_name}", "cat": "spin",
+                    "pid": pid, "tid": s_core, "ts": _us(s_start),
+                    "dur": _us(end_ns - s_start),
+                }
+            )
+    for thread, stack in open_block.items():
+        for _ in stack:
+            out.append(
+                {
+                    "ph": "e", "cat": "block", "name": "blocked",
+                    "id": block_ids[thread], "pid": pid, "tid": blocked_tid,
+                    "ts": _us(end_ns),
+                }
+            )
+
+    # a stable sort by ts makes every (pid, tid) track monotonic, since a
+    # sorted sequence's subsequences are sorted
+    out.sort(key=lambda e: e["ts"])
+    return meta + out
+
+
+def build_trace(captures: Iterable[dict]) -> dict:
+    """Merge capture snapshots into one trace-event document.
+
+    Deterministic: processes are numbered in capture order (the parallel
+    sweep runner absorbs worker snapshots in sequential sweep order, so a
+    parallel run exports the identical document).
+    """
+    events: list[dict] = []
+    pid = 0
+    for cap in captures:
+        label = cap.get("label", "run")
+        for m in cap["machines"]:
+            pid += 1
+            events.extend(_machine_events(pid, label, m))
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_trace(path: str, doc: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+
+
+def validate_trace(doc: Any) -> list[str]:
+    """Check a document against the trace-event schema this repo relies on.
+
+    Returns a list of problems (empty = valid): structural shape, known
+    phases, required fields per phase, non-negative timestamps/durations,
+    and **monotonic timestamps per (pid, tid) track** for X/B/E/C events.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["document must be a dict with a 'traceEvents' list"]
+    last_ts: dict[tuple[Any, Any], float] = {}
+    for i, event in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "pid" not in event or "tid" not in event:
+            problems.append(f"{where}: missing pid/tid")
+            continue
+        if ph == "M":
+            if event.get("name") not in _META_NAMES:
+                problems.append(f"{where}: unknown metadata {event.get('name')!r}")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event with bad dur {dur!r}")
+        if ph in ("b", "e") and "id" not in event:
+            problems.append(f"{where}: async event without id")
+        if ph in ("X", "B", "E", "C"):
+            key = (event["pid"], event["tid"])
+            if ts < last_ts.get(key, 0.0):
+                problems.append(
+                    f"{where}: non-monotonic ts {ts} on track {key} "
+                    f"(last {last_ts[key]})"
+                )
+            last_ts[key] = ts
+    return problems

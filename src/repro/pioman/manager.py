@@ -100,6 +100,24 @@ class PIOMan:
                 reaped += 1
         return did or reaped > 0
 
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for the observability layer (:mod:`repro.obs`).
+
+        ``bookkeeping_ns`` is the exact request-management time charged so
+        far — the +200 ns/message of Figure 6, reconstructed from the
+        register/complete counters and their calibrated unit costs.
+        """
+        return {
+            "poll_passes": self.poll_passes,
+            "registered": self.registered_total,
+            "completed": self.completed_total,
+            "pending": len(self._pending),
+            "bookkeeping_ns": (
+                self.registered_total * self.costs.pioman_register_ns
+                + self.completed_total * self.costs.pioman_complete_ns
+            ),
+        }
+
     def demand(self) -> bool:
         """Should idle cores keep polling?  True while requests are pending
         or any library has in-flight traffic or immediate work.

@@ -112,6 +112,9 @@ class Machine:
         self._failures: list[SimThread] = []
         #: optional execution tracer (see :mod:`repro.sim.trace`)
         self.tracer = None
+        #: total cache-distance transfer ns charged on this node (completion
+        #: visibility + cross-core descriptor hand-offs) — read by repro.obs
+        self.transfer_charged_ns = 0
 
     # -- convenience ---------------------------------------------------------
 

@@ -180,6 +180,8 @@ class Marcel:
     def _enqueue(self, thread: SimThread) -> None:
         core = self._place(thread)
         core.runq.append(thread)
+        if self.machine.tracer is not None:
+            self.machine._trace("runq", thread, core.index, str(len(core.runq)))
         if core.current is None:
             # dispatch through the event queue: spawn/wake never run the
             # target thread reentrantly inside the caller's stack
@@ -196,6 +198,8 @@ class Marcel:
             return
         if core.runq:
             thread = core.runq.popleft()
+            if self.machine.tracer is not None:
+                self.machine._trace("runq", thread, core.index, str(len(core.runq)))
         elif (
             core.idle_thread is not None
             and not core.idle_thread.done
@@ -318,6 +322,10 @@ class Marcel:
                 if core.runq:
                     thread.state = ThreadState.READY
                     core.runq.append(thread)
+                    if self.machine.tracer is not None:
+                        self.machine._trace(
+                            "runq", thread, core.index, str(len(core.runq))
+                        )
                     self._leave_core(core, thread)
                     return
                 # nobody to yield to: go through the event queue so that
@@ -343,6 +351,7 @@ class Marcel:
     def _acquire_attempt(self, thread: SimThread, lock: Any) -> None:
         if lock.owner is None:
             lock._grant(thread)
+            lock._granted_at = self.engine.now
             self._advance(thread)
             return
         # contended: spin in place, keeping the core occupied
@@ -371,10 +380,12 @@ class Marcel:
                 f"{thread.name!r} releases {lock.name!r} owned by "
                 f"{lock.owner.name if lock.owner else None!r}"
             )
+        lock.record_hold(self.engine.now)
         lock.owner = None
         if lock.spinners:
             nxt = lock.spinners.popleft()
             lock._grant(nxt)
+            lock._granted_at = self.engine.now
             ncore = self.machine.cores[nxt.placed_on]
             spun = self.engine.now - nxt._spin_since
             ncore.account("spin", spun)
@@ -389,6 +400,7 @@ class Marcel:
     def _try_attempt(self, thread: SimThread, lock: Any) -> None:
         if lock.owner is None:
             lock._grant(thread)
+            lock._granted_at = self.engine.now
             self._advance(thread, value=True)
         else:
             # sentinel needed: _advance treats None as "no value"

@@ -43,10 +43,32 @@ class _LockBase:
         self.spinners: deque[SimThread] = deque()
         self.acquisitions = 0
         self.contentions = 0
+        #: hold-time statistics (scheduler-granted holds; inline-context
+        #: holds have no clock and stay untracked)
+        self.holds = 0
+        self.hold_ns_total = 0
+        self.hold_max_ns = 0
+        #: log2-bucket histogram: bucket b counts holds of [2^(b-1), 2^b) ns
+        self.hold_hist: dict[int, int] = {}
+        self._granted_at: int | None = None
 
     def _grant(self, thread: SimThread) -> None:
         self.owner = thread
         self.acquisitions += 1
+
+    def record_hold(self, now_ns: int) -> None:
+        """Close the hold opened at the last scheduler grant (no-op when
+        the grant time is unknown, e.g. inline-context grants)."""
+        if self._granted_at is None:
+            return
+        held = now_ns - self._granted_at
+        self._granted_at = None
+        self.holds += 1
+        self.hold_ns_total += held
+        if held > self.hold_max_ns:
+            self.hold_max_ns = held
+        bucket = held.bit_length()
+        self.hold_hist[bucket] = self.hold_hist.get(bucket, 0) + 1
 
     @property
     def held(self) -> bool:
@@ -256,6 +278,8 @@ class Completion:
         self.fire_time: int | None = None
         self.fire_core: int | None = None
         self.waiters: deque[SimThread] = deque()
+        #: reader cores whose cache-line transfer has been attributed
+        self._transfer_seen: set[int] = set()
 
     def fire(self, value: Any = None, *, core: int | None = None) -> None:
         """Mark complete; wake blocked waiters with the transfer cost.
@@ -276,7 +300,9 @@ class Completion:
             # firing-core -> waiter-core cache transfer (Fig. 8)
             delay = self.machine.costs.wake_latency_ns
             if core is not None and waiter.placed_on is not None:
-                delay += self.machine.transfer_ns(core, waiter.placed_on)
+                transfer = self.machine.transfer_ns(core, waiter.placed_on)
+                delay += transfer
+                self.machine.transfer_charged_ns += transfer
             self.machine.scheduler.wake(waiter, value, delay_ns=delay)
 
     def visible(self, core_index: int, now: int | None = None) -> bool:
@@ -286,7 +312,15 @@ class Completion:
         if self.fire_core is None:
             return True
         now = self.machine.engine.now if now is None else now
-        return now >= self.fire_time + self.machine.transfer_ns(self.fire_core, core_index)
+        transfer = self.machine.transfer_ns(self.fire_core, core_index)
+        if now < self.fire_time + transfer:
+            return False
+        # the polled path pays the transfer implicitly (visibility latency);
+        # attribute it once per reader core so repro.obs can decompose it
+        if transfer and core_index not in self._transfer_seen:
+            self._transfer_seen.add(core_index)
+            self.machine.transfer_charged_ns += transfer
+        return True
 
     def wait(self) -> SimGen:
         """Block until fired; returns the completion value.

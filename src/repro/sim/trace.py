@@ -19,8 +19,9 @@ Typical use::
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter, defaultdict, deque
 from dataclasses import dataclass
+from itertools import islice
 from typing import Iterable, TYPE_CHECKING
 
 from repro.util.tables import render_table
@@ -40,6 +41,7 @@ KINDS = (
     "kick",  # sleep interrupted
     "spin-begin",  # lock found held; active spinning starts
     "spin-end",  # contended lock granted
+    "runq",  # run-queue depth changed (detail carries the new depth)
 )
 
 
@@ -62,13 +64,18 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded in-memory event recorder."""
+    """Bounded in-memory event recorder with ring-buffer semantics.
+
+    When more than ``max_events`` events arrive, the *oldest* events are
+    discarded (and counted in :attr:`dropped`) so that end-of-run queries —
+    the ones every report runs — always see the most recent window.
+    """
 
     def __init__(self, max_events: int = 100_000) -> None:
         if max_events <= 0:
             raise ValueError("max_events must be > 0")
         self.max_events = max_events
-        self.events: list[TraceEvent] = []
+        self.events: deque[TraceEvent] = deque(maxlen=max_events)
         self.dropped = 0
 
     # -- recording ------------------------------------------------------------
@@ -83,9 +90,8 @@ class Tracer:
     ) -> None:
         if kind not in KINDS:
             raise ValueError(f"unknown trace kind {kind!r}")
-        if len(self.events) >= self.max_events:
-            self.dropped += 1
-            return
+        if len(self.events) == self.max_events:
+            self.dropped += 1  # the deque evicts its oldest event
         self.events.append(TraceEvent(time, kind, thread.name, core, detail))
 
     # -- queries ---------------------------------------------------------------
@@ -102,36 +108,42 @@ class Tracer:
     def between(self, start_ns: int, end_ns: int) -> list[TraceEvent]:
         return [e for e in self.events if start_ns <= e.time < end_ns]
 
-    def spin_episodes(self) -> list[tuple[str, int, int]]:
-        """(thread, start, duration) of every completed spin episode."""
-        open_spins: dict[str, int] = {}
+    def _paired(self, begin: str, end: str) -> list[tuple[str, int, int]]:
+        """Match ``begin``/``end`` events per thread with LIFO stacks.
+
+        A plain one-slot dict would lose the outer episode whenever the
+        same thread emits a second ``begin`` before the matching ``end``
+        (re-entrant pairing); a stack pairs each ``end`` with the most
+        recent unmatched ``begin``.  ``end`` events whose ``begin`` fell
+        off the ring buffer are skipped.
+        """
+        open_stack: dict[str, list[int]] = defaultdict(list)
         episodes: list[tuple[str, int, int]] = []
         for event in self.events:
-            if event.kind == "spin-begin":
-                open_spins[event.thread] = event.time
-            elif event.kind == "spin-end":
-                start = open_spins.pop(event.thread, None)
-                if start is not None:
+            if event.kind == begin:
+                open_stack[event.thread].append(event.time)
+            elif event.kind == end:
+                stack = open_stack.get(event.thread)
+                if stack:
+                    start = stack.pop()
                     episodes.append((event.thread, start, event.time - start))
         return episodes
 
+    def spin_episodes(self) -> list[tuple[str, int, int]]:
+        """(thread, start, duration) of every completed spin episode."""
+        return self._paired("spin-begin", "spin-end")
+
     def block_latencies(self) -> list[tuple[str, int]]:
         """(thread, block-to-wake time) pairs."""
-        blocked_at: dict[str, int] = {}
-        out: list[tuple[str, int]] = []
-        for event in self.events:
-            if event.kind == "block":
-                blocked_at[event.thread] = event.time
-            elif event.kind == "wake":
-                start = blocked_at.pop(event.thread, None)
-                if start is not None:
-                    out.append((event.thread, event.time - start))
-        return out
+        return [(thread, dur) for thread, _start, dur in self._paired("block", "wake")]
 
     # -- reports ------------------------------------------------------------------
 
     def counts(self) -> dict[str, int]:
-        return dict(Counter(e.kind for e in self.events))
+        """Per-kind event counts, plus the ``"dropped"`` overflow count."""
+        out = dict(Counter(e.kind for e in self.events))
+        out["dropped"] = self.dropped
+        return out
 
     def summary_table(self) -> str:
         """Per-thread event summary."""
@@ -145,10 +157,16 @@ class Tracer:
             rows.append(
                 [name, c["dispatch"], c["switch"], c["block"], c["spin-begin"]]
             )
-        return render_table(headers, rows, title="Trace summary")
+        table = render_table(headers, rows, title="Trace summary")
+        if self.dropped:
+            table += (
+                f"\n!! {self.dropped} event(s) dropped (ring buffer kept the "
+                f"newest {self.max_events}); totals above are partial"
+            )
+        return table
 
     def dump(self, limit: int | None = None) -> Iterable[str]:
-        events = self.events if limit is None else self.events[:limit]
+        events = self.events if limit is None else islice(self.events, limit)
         return [e.render() for e in events]
 
     def spin_time_ns(self) -> int:

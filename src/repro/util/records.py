@@ -131,6 +131,22 @@ class ResultSet:
         pts = [(r.size, r.latency_us) for r in self._records if r.config == config]
         return sorted(pts)
 
+    def missing_points(self) -> list[tuple[str, int]]:
+        """Holes in the (config, size) grid, in table render order.
+
+        A complete sweep measures every config at every size; a partially
+        failed (e.g. interrupted parallel) sweep leaves holes that would
+        otherwise render indistinguishably from a complete figure.
+        """
+        sizes = self.sizes()
+        have = {(r.config, r.size) for r in self._records}
+        return [
+            (config, size)
+            for size in sizes
+            for config in self.configs()
+            if (config, size) not in have
+        ]
+
     def point(self, config: str, size: int) -> float:
         """The latency of a single (config, size) point.
 

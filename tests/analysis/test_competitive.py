@@ -120,9 +120,9 @@ class TestTheoryMatchesSimulator:
         results = run_fixed_spin_sweep(
             spin_values_ns=(0, 2_000, 20_000), event_delay_ns=8_000, iterations=6
         )
-        block = results.point("spin=0ns", 0)
-        short = results.point("spin=2000ns", 2_000)
-        cover = results.point("spin=20000ns", 20_000)
+        block = results.point("fixed-spin wait", 0)
+        short = results.point("fixed-spin wait", 2_000)
+        cover = results.point("fixed-spin wait", 20_000)
         # theory: cost(block) ~ cost(short spin) > cost(covering spin)
         assert cover < block
         assert cover < short

@@ -68,7 +68,39 @@ class TestReport:
         rs = sample_results()
         rs.add(ResultRecord("fig3", "fine", 1, 3.2))  # only one size
         text = figure_table(rs, title="T")
-        assert "-" in text.splitlines()[-1]
+        table_lines = [
+            line for line in text.splitlines() if not line.startswith("!!")
+        ]
+        assert "-" in table_lines[-1]
+
+    def test_missing_point_flagged_loudly(self):
+        # a hole must never render as just a quiet dash: the footnote
+        # names the exact missing cells
+        rs = sample_results()
+        rs.add(ResultRecord("fig3", "fine", 1, 3.2))  # fine@1K missing
+        text = figure_table(rs, title="T")
+        assert "!! INCOMPLETE SWEEP: 1 missing point(s)" in text
+        assert "fine@1K" in text
+
+    def test_complete_sweep_has_no_footnote(self):
+        text = figure_table(sample_results(), title="T")
+        assert "INCOMPLETE" not in text
+
+    def test_many_holes_elided(self):
+        rs = ResultSet()
+        sizes = list(range(1, 12))
+        for size in sizes:
+            rs.add(ResultRecord("fig3", "a", size, 1.0))
+        rs.add(ResultRecord("fig3", "b", 1, 1.0))  # b missing at 10 sizes
+        text = figure_table(rs, title="T")
+        assert "10 missing point(s)" in text
+        assert text.rstrip().endswith("...")
+
+    def test_missing_points_render_order(self):
+        rs = sample_results()
+        rs.add(ResultRecord("fig3", "fine", 1, 3.2))
+        assert rs.missing_points() == [("fine", 1024)]
+        assert sample_results().missing_points() == []
 
     def test_verdicts(self):
         c = claim("fig3-coarse-offset")

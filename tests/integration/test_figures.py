@@ -12,6 +12,7 @@ from repro.bench import figures
 def test_figure_claims_hold_quick(name):
     results, checks = figures.FIGURES[name](True)
     assert len(results) > 0
+    assert not results.missing_points(), "figure sweep left grid holes"
     failed = [
         f"{c.claim_id}: expected {c.expected}±{c.tolerance}, measured {m:.3g}"
         for c, m in checks

@@ -125,6 +125,90 @@ class TestTracerQueries:
         assert len(tracer) == 2
         assert tracer.dropped == 3
 
+    def test_ring_buffer_keeps_newest(self):
+        # overflow must evict the OLDEST events: end-of-run reports read
+        # the tail of the run, so a tracer that kept the first N and
+        # silently dropped everything after would hide exactly the window
+        # every report looks at
+        tracer = Tracer(max_events=3)
+
+        class FakeThread:
+            name = "x"
+
+        for time in range(10):
+            tracer.record(time, "dispatch", FakeThread(), 0)
+        assert [e.time for e in tracer.events] == [7, 8, 9]
+        assert tracer.dropped == 7
+        assert tracer.counts()["dropped"] == 7
+
+    def test_dropped_zero_when_no_overflow(self):
+        tracer = Tracer(max_events=5)
+
+        class FakeThread:
+            name = "x"
+
+        tracer.record(0, "dispatch", FakeThread(), 0)
+        assert tracer.dropped == 0
+        assert tracer.counts()["dropped"] == 0
+
+    def test_summary_table_reports_drops(self):
+        tracer = Tracer(max_events=2)
+
+        class FakeThread:
+            name = "x"
+
+        for time in range(5):
+            tracer.record(time, "dispatch", FakeThread(), 0)
+        table = tracer.summary_table()
+        assert "3 event(s) dropped" in table
+        assert "partial" in table
+
+    def test_reentrant_spin_pairing(self):
+        # two spin-begins before any spin-end (re-entrant / nested):
+        # each end must pair with the MOST RECENT unmatched begin; the
+        # old dict-based tracker overwrote the outer episode's start
+        tracer = Tracer()
+
+        class FakeThread:
+            name = "x"
+
+        tracer.record(100, "spin-begin", FakeThread(), 0)
+        tracer.record(150, "spin-begin", FakeThread(), 0)
+        tracer.record(160, "spin-end", FakeThread(), 0)
+        tracer.record(300, "spin-end", FakeThread(), 0)
+        episodes = tracer.spin_episodes()
+        assert ("x", 150, 10) in episodes  # inner
+        assert ("x", 100, 200) in episodes  # outer — was lost before
+        assert tracer.spin_time_ns() == 210
+
+    def test_block_pairing_survives_double_begin(self):
+        tracer = Tracer()
+
+        class T:
+            def __init__(self, name):
+                self.name = name
+
+        a, b = T("a"), T("b")
+        tracer.record(10, "block", a, 0)
+        tracer.record(20, "block", b, 1)
+        tracer.record(25, "block", a, 0)  # re-entrant begin for a
+        tracer.record(30, "wake", a, 0)
+        tracer.record(50, "wake", b, 1)
+        lats = tracer.block_latencies()
+        assert ("a", 5) in lats
+        assert ("b", 30) in lats
+
+    def test_end_without_begin_skipped(self):
+        # the matching begin fell off the ring buffer: the end must not
+        # pair with some other thread's begin or crash
+        tracer = Tracer()
+
+        class FakeThread:
+            name = "x"
+
+        tracer.record(40, "spin-end", FakeThread(), 0)
+        assert tracer.spin_episodes() == []
+
     def test_unknown_kind_rejected(self):
         tracer = Tracer()
 
@@ -150,7 +234,8 @@ class TestTracerQueries:
         assert "w" in table and "dispatches" in table
         lines = list(tracer.dump(limit=1))
         assert len(lines) == 1
-        assert "dispatch" in lines[0]
+        full = "\n".join(tracer.dump())
+        assert "dispatch" in full and "retire" in full
 
 
 class TestTracedPingpong:
