@@ -80,6 +80,18 @@ def stack_pingpong_rate(
     return bed.engine.events_run / elapsed
 
 
+def workload_stencil_rate(*, steps: int = 6, halo_bytes: int = 4096) -> float:
+    """Events/sec through a full workload scenario: the halo-exchange
+    stencil (multi-threaded halo exchange + compute on every rank), the
+    most application-shaped traffic the repo generates."""
+    from repro.workloads.stencil import run_stencil
+
+    t0 = time.perf_counter()
+    run = run_stencil("fine/busy/inline", steps=steps, halo_bytes=halo_bytes)
+    elapsed = time.perf_counter() - t0
+    return run.events_run / elapsed
+
+
 def tracing_overhead(*, best_of: int = 3, baseline: float | None = None) -> dict:
     """Stack throughput with tracing off vs. on.
 
@@ -142,6 +154,9 @@ def collect(*, best_of: int = 3) -> dict:
             max(engine_event_storm() for _ in range(best_of))
         ),
         "stack_pingpong_events_per_sec": round(stack_rate),
+        "workload_stencil_events_per_sec": round(
+            max(workload_stencil_rate() for _ in range(best_of))
+        ),
         "tracing": tracing_overhead(best_of=best_of, baseline=stack_rate),
         "full_suite_quick": full_suite_wall_clock(),
     }

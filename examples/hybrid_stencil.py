@@ -3,35 +3,34 @@
 
 The paper's introduction motivates thread-safe communication libraries
 with exactly this kind of application: "hybrid solutions that mix the use
-of threads and MPI processes seem to be the best candidate".  This example
-solves du/dt = alpha * d2u/dx2 with:
-
-* **domain decomposition** across 4 simulated nodes (Mad-MPI ranks);
-* **multi-threaded compute** inside each rank: the rank's subdomain is
-  split across the node's 4 cores;
-* **halo exchange** performed concurrently by two communication threads
-  per rank — one per neighbour — which is only legal with
-  ``MPI_THREAD_MULTIPLE``, the thread level §3 of the paper is about.
-
-The numerical result is verified against a single-threaded reference
-solve, and the run is timed under coarse-grain vs. fine-grain locking.
+of threads and MPI processes seem to be the best candidate".  The stencil
+itself lives in the workload subsystem (:mod:`repro.workloads.stencil`):
+domain decomposition across 4 simulated ranks, halo exchange by two
+concurrent communication threads per rank (``MPI_THREAD_MULTIPLE``), and
+multi-threaded compute.  This example runs its *physics form* — real
+heat-equation arithmetic riding on the simulated communication — and
+verifies the result against a single-threaded reference solve, timing the
+run under several mechanisms of the paper's design space.
 
 Run:  python examples/hybrid_stencil.py
+(set REPRO_EXAMPLES_QUICK=1 for the reduced CI-sized run)
 """
+
+import os
 
 import numpy as np
 
-from repro.core import build_testbed
-from repro.madmpi import ThreadLevel, create_world
-from repro.sim.process import Delay
-from repro.sim.sync import Semaphore
+from repro.workloads.stencil import ALPHA, run_stencil
 
-POINTS_PER_RANK = 256
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK") == "1"
+POINTS_PER_RANK = 64 if QUICK else 256
 RANKS = 4
-STEPS = 20
-ALPHA = 0.4  # dt*alpha/dx^2, stable for the explicit scheme
-#: simulated cost of one stencil update of one subdomain slice
-COMPUTE_NS_PER_SLICE = 2_000
+STEPS = 8 if QUICK else 20
+MECHANISMS = (
+    "coarse/busy/inline",
+    "fine/busy/inline",
+    "fine/passive/idle",
+)
 
 
 def reference_solution(u0: np.ndarray, steps: int) -> np.ndarray:
@@ -49,117 +48,25 @@ def initial_field() -> np.ndarray:
     return np.exp(-100.0 * (x - 0.5) ** 2)
 
 
-def rank_program(comm, full_u0: np.ndarray, result_box: dict):
-    """One rank: compute threads + concurrent halo-exchange threads."""
-    rank, size = comm.rank, comm.size
-    lo = rank * POINTS_PER_RANK
-    u = full_u0[lo : lo + POINTS_PER_RANK].copy()
-    machine = comm.lib.machine
-    ncores = machine.ncores
-
-    for step in range(STEPS):
-        # ---- halo exchange: one thread per neighbour, concurrently ----
-        halos = {"left": None, "right": None}
-        done_sem = Semaphore(machine, 0, name=f"halo{rank}s{step}")
-        tag = 1000 + step
-
-        def exchange(direction: str, neighbour: int, boundary: float):
-            try:
-                value, _ = yield from comm.Sendrecv(
-                    neighbour, 8, neighbour, 8, sendtag=tag, recvtag=tag,
-                    payload=boundary,
-                )
-                halos[direction] = value
-            finally:
-                done_sem.post()
-
-        nthreads = 0
-        if rank > 0:
-            machine.scheduler.spawn(
-                exchange("left", rank - 1, float(u[0])),
-                name=f"halo-left-{rank}-{step}",
-                core=1 % ncores,
-                bound=True,
-            )
-            nthreads += 1
-        if rank < size - 1:
-            machine.scheduler.spawn(
-                exchange("right", rank + 1, float(u[-1])),
-                name=f"halo-right-{rank}-{step}",
-                core=2 % ncores,
-                bound=True,
-            )
-            nthreads += 1
-        for _ in range(nthreads):
-            yield from done_sem.wait()
-
-        left = halos["left"] if halos["left"] is not None else u[0]
-        right = halos["right"] if halos["right"] is not None else u[-1]
-
-        # ---- multi-threaded compute: slices across the node's cores ----
-        padded = np.concatenate(([left], u, [right]))
-        nxt = u + ALPHA * (padded[2:] - 2 * u + padded[:-2])
-        # fixed global boundaries
-        if rank == 0:
-            nxt[0] = u[0]
-        if rank == size - 1:
-            nxt[-1] = u[-1]
-
-        compute_sem = Semaphore(machine, 0, name=f"comp{rank}s{step}")
-        slices = ncores
-
-        def compute_slice():
-            yield Delay(COMPUTE_NS_PER_SLICE, "compute")
-            compute_sem.post()
-
-        for c in range(slices):
-            machine.scheduler.spawn(
-                compute_slice(), name=f"slice{rank}-{step}-{c}", core=c, bound=True
-            )
-        for _ in range(slices):
-            yield from compute_sem.wait()
-        u = nxt
-
-    result_box[rank] = u
-    # gather for verification
-    gathered = yield from comm.Gather(u, root=0)
-    if rank == 0:
-        result_box["global"] = np.concatenate(gathered)
-
-
-def run(policy: str) -> tuple[np.ndarray, float]:
-    bed = build_testbed(nodes=RANKS, policy=policy)
-    comms = create_world(bed, thread_level=ThreadLevel.MULTIPLE)
-    u0 = initial_field()
-    results: dict = {}
-    threads = [
-        bed.machine(c.rank).scheduler.spawn(
-            rank_program(c, u0, results), name=f"rank{c.rank}", core=0, bound=True
-        )
-        for c in comms
-    ]
-    bed.run(until=lambda: all(t.done for t in threads))
-    elapsed_us = bed.engine.now / 1000
-    return results["global"], elapsed_us
-
-
 def main() -> None:
     u0 = initial_field()
     expect = reference_solution(u0, STEPS)
     print(f"1-D heat equation: {RANKS} ranks x {POINTS_PER_RANK} points, {STEPS} steps")
     print(f"hybrid setup: {RANKS} nodes, 4 cores each, MPI_THREAD_MULTIPLE\n")
 
-    for policy in ("coarse", "fine"):
-        field, elapsed_us = run(policy)
-        err = float(np.max(np.abs(field - expect)))
+    for mech in MECHANISMS:
+        run = run_stencil(mech, ranks=RANKS, steps=STEPS, field=u0)
+        err = float(np.max(np.abs(run.field - expect)))
         ok = "OK " if err < 1e-9 else "BAD"
         print(
-            f"[{ok}] {policy:6s} locking: simulated time {elapsed_us:9.1f} us, "
+            f"[{ok}] {mech:22s}: simulated time {run.makespan_us:9.1f} us, "
             f"max error vs serial reference {err:.2e}"
         )
     print(
-        "\nBoth policies compute identical physics; fine-grain locking lets the\n"
-        "two halo threads of each rank drive the library concurrently (§3.2)."
+        "\nEvery mechanism computes identical physics; fine-grain locking lets\n"
+        "the two halo threads of each rank drive the library concurrently\n"
+        "(§3.2), and passive waiting frees the cores between halo arrivals\n"
+        "(§3.3) at the price of wake-up latency."
     )
 
 

@@ -9,7 +9,10 @@ went: how often threads spun on the library's locks, for how long, and
 what fraction of each core's busy time that wasted.
 
 Run:  python examples/lock_contention_trace.py
+(set REPRO_EXAMPLES_QUICK=1 for the reduced CI-sized run)
 """
+
+import os
 
 from repro.bench.pingpong import run_concurrent_pingpong
 from repro.core import build_testbed
@@ -19,7 +22,7 @@ from repro.util.units import format_ns
 
 FLOWS = 4
 SIZE = 64
-ITERATIONS = 24
+ITERATIONS = 8 if os.environ.get("REPRO_EXAMPLES_QUICK") == "1" else 24
 
 
 def profile(policy: str):

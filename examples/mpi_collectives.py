@@ -13,9 +13,11 @@ The result is verified against ``numpy.linalg.eigvalsh`` and the
 simulated communication time is reported per collective pattern.
 
 Run:  python examples/mpi_collectives.py
+(set REPRO_EXAMPLES_QUICK=1 for the reduced CI-sized run)
 """
 
 import operator
+import os
 
 import numpy as np
 
@@ -25,7 +27,7 @@ from repro.sim.process import Delay
 
 RANKS = 4
 N = 64  # matrix dimension (divisible by RANKS)
-ITERATIONS = 60
+ITERATIONS = 25 if os.environ.get("REPRO_EXAMPLES_QUICK") == "1" else 60
 #: simulated cost of one local block mat-vec
 MATVEC_NS = 15_000
 

@@ -17,7 +17,10 @@ Three configurations are compared:
   submission via tasklets, showing their ~2 us convenience tax (Fig. 9).
 
 Run:  python examples/overlap_pipeline.py
+(set REPRO_EXAMPLES_QUICK=1 for the reduced CI-sized run)
 """
+
+import os
 
 from repro.core import BusyWait, build_testbed
 from repro.pioman import TaskletSubmit, attach_pioman, set_offload
@@ -25,7 +28,7 @@ from repro.sim.process import Delay
 from repro.util.tables import render_table
 
 BLOCK_BYTES = 64 * 1024  # rendezvous territory
-BLOCKS = 16
+BLOCKS = 6 if os.environ.get("REPRO_EXAMPLES_QUICK") == "1" else 16
 COMPUTE_NS = 30_000  # per-block computation on both sides
 
 

@@ -7,7 +7,10 @@ prints the Figure 3 comparison: no locking vs. coarse-grain (+140 ns) vs.
 fine-grain (+230 ns).
 
 Run:  python examples/quickstart.py
+(set REPRO_EXAMPLES_QUICK=1 for the reduced CI-sized run)
 """
+
+import os
 
 from repro.bench.pingpong import run_pingpong
 from repro.core import build_testbed
@@ -15,15 +18,18 @@ from repro.util.tables import render_table
 from repro.util.units import format_size
 
 
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK") == "1"
+
+
 def measure(policy: str, size: int) -> float:
     """One (policy, size) latency point in microseconds."""
     bed = build_testbed(policy=policy, jitter_ns=150)
-    result = run_pingpong(bed, size, iterations=32, warmup=4)
+    result = run_pingpong(bed, size, iterations=8 if QUICK else 32, warmup=4)
     return result.latency_us
 
 
 def main() -> None:
-    sizes = [1, 8, 64, 512, 2048]
+    sizes = [1, 64, 2048] if QUICK else [1, 8, 64, 512, 2048]
     policies = ["none", "coarse", "fine"]
 
     print("Measuring pingpong latency on the simulated MX testbed...")

@@ -204,6 +204,12 @@ class Communicator:
             raise MPIError(
                 "MPI_THREAD_FUNNELED: only the main thread may call MPI"
             )
+        if level is ThreadLevel.SERIALIZED and self._inside:
+            raise MPIError(
+                f"MPI_THREAD_SERIALIZED: thread {tid} entered MPI while "
+                f"threads {sorted(self._inside)} were still inside — the "
+                "application must serialize its MPI calls"
+            )
         if level is not ThreadLevel.MULTIPLE and self._inside:
             raise MPIError(
                 f"{level.name}: concurrent MPI calls detected "

@@ -162,6 +162,37 @@ class ResultSet:
 
     # -- persistence ----------------------------------------------------------
 
+    def to_csv(self) -> str:
+        """Render as CSV for external plotting tools.
+
+        Fixed columns ``experiment,config,size,latency_us`` followed by
+        one column per extra key (union across records, sorted — so the
+        header is deterministic); records missing a key leave the cell
+        empty.  Non-scalar extra values are JSON-encoded.
+        """
+        import csv
+        import io
+
+        extra_keys = sorted({k for r in self._records for k in r.extra})
+        out = io.StringIO(newline="")
+        writer = csv.writer(out, lineterminator="\n")
+        writer.writerow(
+            ["experiment", "config", "size", "latency_us", *extra_keys]
+        )
+        for r in self._records:
+            cells: list[Any] = [r.experiment, r.config, r.size, r.latency_us]
+            for key in extra_keys:
+                value = r.extra.get(key, "")
+                if isinstance(value, (dict, list, tuple)):
+                    value = json.dumps(value, sort_keys=True)
+                cells.append(value)
+            writer.writerow(cells)
+        return out.getvalue()
+
+    def save_csv(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            fh.write(self.to_csv())
+
     def to_json(self) -> str:
         return json.dumps([r.to_dict() for r in self._records], indent=2)
 

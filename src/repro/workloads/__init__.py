@@ -1,0 +1,65 @@
+"""Application-level workload generator and scenario suite.
+
+The paper measures each threading mechanism with microbenchmarks; this
+subsystem measures them under *application-shaped* multithreaded traffic
+— halo-exchange stencils, bursty many-to-many flows, fan-in reductions,
+producer/consumer pipelines and collectives under contention — and ranks
+the mechanisms per scenario (the ``mechanism matrix``), the way
+:mod:`repro.bench.figures` ranks them per paper figure.
+
+Quick use::
+
+    from repro.workloads import run_scenario, mechanism_matrix
+
+    results = run_scenario("stencil", quick=True)
+    print(mechanism_matrix({"stencil": results}))
+
+or from the command line::
+
+    python -m repro.workloads --scenario stencil --quick
+
+See ``docs/workloads.md`` for the scenario registry, the mechanism grid
+and the determinism guarantees.
+"""
+
+from repro.workloads.base import (
+    WAIT_FACTORIES,
+    WORKLOAD_POLICIES,
+    Mechanism,
+    WorkloadError,
+    WorkloadRun,
+    build_workload_bed,
+    mechanism_grid,
+    run_workload,
+)
+from repro.workloads.matrix import (
+    config_label,
+    mechanism_matrix,
+    missing_point_count,
+    rank_mechanisms,
+    run_scenario,
+    scenario_report,
+)
+from repro.workloads.registry import Scenario, get, load_all, names, register
+
+__all__ = [
+    "WAIT_FACTORIES",
+    "WORKLOAD_POLICIES",
+    "Mechanism",
+    "WorkloadError",
+    "WorkloadRun",
+    "build_workload_bed",
+    "mechanism_grid",
+    "run_workload",
+    "config_label",
+    "mechanism_matrix",
+    "missing_point_count",
+    "rank_mechanisms",
+    "run_scenario",
+    "scenario_report",
+    "Scenario",
+    "get",
+    "load_all",
+    "names",
+    "register",
+]

@@ -1,0 +1,139 @@
+"""Bursty many-to-many workload (stochastic arrival processes).
+
+Per-thread traffic shape is the deciding variable for mechanism rankings
+(Gillis et al.), so this scenario generates *application-like* traffic:
+every sender thread emits messages whose inter-arrival times follow an
+exponential (Poisson process) distribution and whose sizes follow a
+lognormal, both drawn from the seeded :class:`repro.sim.rng.RngHub`
+streams — the whole schedule is materialized **before** the simulation
+starts, so the workload is byte-for-byte reproducible for a given seed
+regardless of thread interleaving.
+
+Topology: every node runs ``SENDER_THREADS`` sender threads spraying the
+other nodes, plus one receiver thread per (peer, sender-thread) pair
+draining the scheduled arrivals.  All of it concurrent, under
+``MPI_THREAD_MULTIPLE``.
+"""
+
+from __future__ import annotations
+
+from repro.madmpi import Communicator
+from repro.sim.process import Delay, SimGen
+from repro.sim.rng import RngHub
+from repro.workloads.base import run_workload, spawn_joinable
+from repro.workloads.registry import Scenario, register
+
+NODES = 4
+SENDER_THREADS = 2
+#: mean inter-arrival time of each sender thread's Poisson process
+MEAN_ARRIVAL_NS = 4_000
+#: lognormal size distribution (median ~256 B, heavy right tail)
+SIZE_MU = 5.5
+SIZE_SIGMA = 1.0
+MAX_MSG_BYTES = 64 * 1024
+
+
+def make_schedule(
+    seed: int, *, nodes: int, threads: int, messages: int
+) -> dict[tuple[int, int], list[tuple[int, int, int]]]:
+    """Materialize the traffic: per (node, sender thread), a list of
+    ``(wait_ns, dest, size_bytes)`` draws from dedicated rng streams.
+
+    Streams are named per sender thread, so adding a thread (or node)
+    never perturbs another thread's sequence.
+    """
+    hub = RngHub(seed)
+    schedule: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+    for node in range(nodes):
+        peers = [p for p in range(nodes) if p != node]
+        for thread in range(threads):
+            gen = hub.stream(f"workloads/bursty/node{node}/t{thread}")
+            events = []
+            for _ in range(messages):
+                wait_ns = max(1, int(gen.exponential(MEAN_ARRIVAL_NS)))
+                dest = peers[int(gen.integers(len(peers)))]
+                size = int(gen.lognormal(SIZE_MU, SIZE_SIGMA))
+                size = min(max(size, 1), MAX_MSG_BYTES)
+                events.append((wait_ns, dest, size))
+            schedule[(node, thread)] = events
+    return schedule
+
+
+def _incoming(
+    schedule: dict[tuple[int, int], list[tuple[int, int, int]]],
+    dest: int,
+) -> dict[tuple[int, int], list[int]]:
+    """Per (source node, sender thread): ordered sizes arriving at dest."""
+    incoming: dict[tuple[int, int], list[int]] = {}
+    for (node, thread), events in sorted(schedule.items()):
+        sizes = [size for _, d, size in events if d == dest]
+        if sizes:
+            incoming[(node, thread)] = sizes
+    return incoming
+
+
+def _rank_program(
+    comm: Communicator,
+    schedule: dict[tuple[int, int], list[tuple[int, int, int]]],
+    threads: int,
+) -> SimGen:
+    """Senders emit their schedule; receivers drain scheduled arrivals."""
+    machine = comm.lib.machine
+    ncores = machine.ncores
+    me = comm.rank
+
+    def sender(thread: int) -> SimGen:
+        pending = []
+        for wait_ns, dest, size in schedule[(me, thread)]:
+            yield Delay(wait_ns, "compute")
+            req = yield from comm.Isend(dest, size, tag=thread)
+            pending.append(req)
+        yield from comm.Waitall(pending)
+
+    def receiver(src: int, thread: int, sizes: list[int]) -> SimGen:
+        for size in sizes:
+            yield from comm.Recv(src, size, tag=thread)
+
+    gens = [
+        (sender(t), f"burst-tx{me}.{t}", t % ncores)
+        for t in range(threads)
+    ]
+    for i, ((src, thread), sizes) in enumerate(
+        sorted(_incoming(schedule, me).items())
+    ):
+        gens.append(
+            (receiver(src, thread, sizes),
+             f"burst-rx{me}<{src}.{thread}", (threads + i) % ncores)
+        )
+    join = spawn_joinable(machine, gens)
+    yield from join()
+
+
+def bursty_point(mech_key: str, variant: str, seed: int, size: int) -> float:
+    """Sweep point: makespan (us) with ``size`` messages per sender thread."""
+    schedule = make_schedule(
+        seed, nodes=NODES, threads=SENDER_THREADS, messages=size
+    )
+
+    def rank_fn(comm: Communicator) -> SimGen:
+        yield from _rank_program(comm, schedule, SENDER_THREADS)
+
+    return run_workload(mech_key, rank_fn, nodes=NODES, seed=seed).makespan_us
+
+
+register(
+    Scenario(
+        name="bursty",
+        title="Bursty many-to-many (Poisson arrivals, lognormal sizes)",
+        description=(
+            "4 nodes x 2 sender threads each; inter-arrival times are "
+            "exponential and message sizes lognormal, drawn from seeded "
+            "sim.rng streams materialized before the run.  Axis: messages "
+            "per sender thread."
+        ),
+        axis="messages/thread",
+        sizes=(4, 8, 16),
+        quick_sizes=(4,),
+        point=bursty_point,
+    )
+)

@@ -1,0 +1,92 @@
+"""Collectives-under-contention workload.
+
+Each rank's main thread runs rounds of ``madmpi.collectives``
+(allreduce → bcast → barrier) while background threads on the same ranks
+exchange point-to-point ring traffic concurrently — the mixed pattern
+real MPI+threads applications produce, where collective progress
+contends with application sends on the library's locks and progression
+engine.  Only the main thread calls collectives (the MPI ordering
+requirement); the background threads use plain user tags, legal under
+``MPI_THREAD_MULTIPLE``.
+
+The sweep axis is the background message size: tiny messages stress lock
+acquisition rate, large ones stress the rendezvous/progression path.
+"""
+
+from __future__ import annotations
+
+from repro.madmpi import Communicator
+from repro.sim.process import Delay, SimGen
+from repro.workloads.base import run_workload, spawn_joinable
+from repro.workloads.registry import Scenario, register
+
+NODES = 4
+#: collective rounds per rank
+ROUNDS = 4
+#: background point-to-point threads per rank
+BG_THREADS = 2
+#: ring messages each background thread sends (and receives)
+BG_MESSAGES = 6
+#: simulated compute between collective rounds
+ROUND_COMPUTE_NS = 3_000
+
+
+def _rank_program(comm: Communicator, bg_bytes: int) -> SimGen:
+    machine = comm.lib.machine
+    ncores = machine.ncores
+    me, p = comm.rank, comm.size
+    right, left = (me + 1) % p, (me - 1) % p
+
+    def background(thread: int) -> SimGen:
+        """Ring exchange: send right / receive left, fixed count."""
+        tag = 100 + thread
+        for _ in range(BG_MESSAGES):
+            rreq = yield from comm.Irecv(left, bg_bytes, tag=tag)
+            sreq = yield from comm.Isend(right, bg_bytes, tag=tag)
+            yield from comm.Waitall([sreq, rreq])
+
+    gens = [
+        (background(t), f"bg{me}.{t}", 1 + t % (ncores - 1))
+        for t in range(BG_THREADS)
+    ]
+    join = spawn_joinable(machine, gens)
+
+    total = 0
+    for _ in range(ROUNDS):
+        yield Delay(ROUND_COMPUTE_NS, "compute")
+        total = yield from comm.Allreduce(me + 1, lambda a, b: a + b)
+        value = yield from comm.Bcast(total, root=0)
+        assert value == total
+        yield from comm.Barrier()
+    expect = p * (p + 1) // 2
+    if total != expect:
+        raise AssertionError(
+            f"allreduce under contention produced {total}, expected {expect}"
+        )
+    yield from join()
+
+
+def contention_point(mech_key: str, variant: str, seed: int, size: int) -> float:
+    """Sweep point: makespan (us) with ``size``-byte background traffic."""
+
+    def rank_fn(comm: Communicator) -> SimGen:
+        yield from _rank_program(comm, size)
+
+    return run_workload(mech_key, rank_fn, nodes=NODES, seed=seed).makespan_us
+
+
+register(
+    Scenario(
+        name="collectives",
+        title="Collectives under point-to-point contention",
+        description=(
+            "Each rank's main thread runs allreduce/bcast/barrier rounds "
+            "while 2 background threads per rank exchange ring traffic "
+            "concurrently.  Axis: background message size in bytes."
+        ),
+        axis="bg bytes",
+        sizes=(64, 1024, 16384),
+        quick_sizes=(1024,),
+        point=contention_point,
+    )
+)

@@ -1,0 +1,89 @@
+"""Fan-in reduction workload (thread-count scaling).
+
+All traffic converges on a root rank: every non-root rank runs ``T``
+caller threads (the sweep axis, 1–16, all driving MPI concurrently under
+``MPI_THREAD_MULTIPLE``), each sending a fixed number of partial-result
+messages to the root; the root runs ``T`` matching reducer threads, each
+draining its tag stream from every peer.  The incast pattern concentrates
+lock and progression pressure on one node — the worst case for
+coarse-grain locking, per the paper's Fig. 5 argument.
+"""
+
+from __future__ import annotations
+
+from repro.madmpi import Communicator
+from repro.sim.process import Delay, SimGen
+from repro.workloads.base import run_workload, spawn_joinable
+from repro.workloads.registry import Scenario, register
+
+NODES = 4
+ROOT = 0
+#: messages each caller thread contributes
+MESSAGES_PER_THREAD = 4
+#: partial-result payload
+MSG_BYTES = 512
+#: simulated compute producing one partial result
+COMPUTE_NS = 1_500
+
+
+def _rank_program(comm: Communicator, threads: int) -> SimGen:
+    machine = comm.lib.machine
+    ncores = machine.ncores
+    me = comm.rank
+    peers = [r for r in range(comm.size) if r != ROOT]
+
+    if me == ROOT:
+
+        def reducer(thread: int) -> SimGen:
+            pending = []
+            for src in peers:
+                for _ in range(MESSAGES_PER_THREAD):
+                    req = yield from comm.Irecv(src, MSG_BYTES, tag=thread)
+                    pending.append(req)
+            yield from comm.Waitall(pending)
+            # combining the partials costs compute on the root too
+            yield Delay(COMPUTE_NS * len(pending) // 4, "compute")
+
+        gens = [
+            (reducer(t), f"fanin-root.{t}", t % ncores)
+            for t in range(threads)
+        ]
+    else:
+
+        def worker(thread: int) -> SimGen:
+            for _ in range(MESSAGES_PER_THREAD):
+                yield Delay(COMPUTE_NS, "compute")
+                yield from comm.Send(ROOT, MSG_BYTES, tag=thread)
+
+        gens = [
+            (worker(t), f"fanin{me}.{t}", t % ncores)
+            for t in range(threads)
+        ]
+    join = spawn_joinable(machine, gens)
+    yield from join()
+
+
+def fanin_point(mech_key: str, variant: str, seed: int, size: int) -> float:
+    """Sweep point: makespan (us) with ``size`` caller threads per rank."""
+
+    def rank_fn(comm: Communicator) -> SimGen:
+        yield from _rank_program(comm, size)
+
+    return run_workload(mech_key, rank_fn, nodes=NODES, seed=seed).makespan_us
+
+
+register(
+    Scenario(
+        name="fanin",
+        title="Fan-in reduction (concurrent caller threads)",
+        description=(
+            "3 leaf ranks send partial results to one root; T caller "
+            "threads per rank (and T reducer threads on the root) drive "
+            "MPI concurrently.  Axis: threads per rank, 1-16."
+        ),
+        axis="threads/rank",
+        sizes=(1, 2, 4, 8, 16),
+        quick_sizes=(1, 4),
+        point=fanin_point,
+    )
+)

@@ -1,0 +1,141 @@
+"""Producer/consumer pipeline workload (communication overlap).
+
+A two-stage pipeline: rank 0 produces chunks (simulated compute), rank 1
+consumes them (more compute).  The measure is how well communication
+overlaps computation — the paper's §4.2 theme — under two threading
+styles, exposed as scenario *variants*:
+
+* ``funneled`` — one thread per rank (``MPI_THREAD_FUNNELED``); overlap
+  comes only from non-blocking calls: produce chunk *i+1* while chunk *i*
+  is in flight.
+* ``multiple`` — a dedicated communication thread per rank
+  (``MPI_THREAD_MULTIPLE``): the compute thread hands chunks over a
+  semaphore-guarded queue and never touches MPI, the comm thread streams
+  them out/in concurrently.
+
+The sweep axis is the chunk size in bytes; mechanism ranking shows where
+a comm thread beats non-blocking funneling (it needs cheap enough
+locking and progression to pay for itself).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.madmpi import Communicator, ThreadLevel
+from repro.sim.process import Delay, SimGen
+from repro.sim.sync import Semaphore
+from repro.workloads.base import run_workload, spawn_joinable
+from repro.workloads.registry import Scenario, register
+
+CHUNKS = 8
+#: simulated cost of producing / consuming one chunk
+PRODUCE_NS = 6_000
+CONSUME_NS = 6_000
+
+
+def _funneled_rank(comm: Communicator, chunk_bytes: int) -> SimGen:
+    """Single thread per rank; overlap via double-buffered non-blocking."""
+    if comm.rank == 0:
+        inflight = None
+        for i in range(CHUNKS):
+            yield Delay(PRODUCE_NS, "compute")
+            if inflight is not None:
+                yield from comm.Wait(inflight)
+            inflight = yield from comm.Isend(1, chunk_bytes, tag=i)
+        yield from comm.Wait(inflight)
+    else:
+        nxt = yield from comm.Irecv(0, chunk_bytes, tag=0)
+        for i in range(CHUNKS):
+            yield from comm.Wait(nxt)
+            if i + 1 < CHUNKS:
+                nxt = yield from comm.Irecv(0, chunk_bytes, tag=i + 1)
+            yield Delay(CONSUME_NS, "compute")
+
+
+def _multiple_rank(comm: Communicator, chunk_bytes: int) -> SimGen:
+    """Compute thread + dedicated communication thread per rank."""
+    machine = comm.lib.machine
+    queue: deque[int] = deque()
+    avail = Semaphore(machine, 0, name=f"pipe{comm.rank}")
+
+    if comm.rank == 0:
+
+        def compute() -> SimGen:
+            for i in range(CHUNKS):
+                yield Delay(PRODUCE_NS, "compute")
+                queue.append(i)
+                yield from avail.signal()
+
+        def communicate() -> SimGen:
+            pending = []
+            for _ in range(CHUNKS):
+                yield from avail.wait()
+                i = queue.popleft()
+                req = yield from comm.Isend(1, chunk_bytes, tag=i)
+                pending.append(req)
+            yield from comm.Waitall(pending)
+
+    else:
+
+        def communicate() -> SimGen:
+            for i in range(CHUNKS):
+                yield from comm.Recv(0, chunk_bytes, tag=i)
+                queue.append(i)
+                yield from avail.signal()
+
+        def compute() -> SimGen:
+            for _ in range(CHUNKS):
+                yield from avail.wait()
+                queue.popleft()
+                yield Delay(CONSUME_NS, "compute")
+
+    join = spawn_joinable(
+        machine,
+        [
+            (compute(), f"pipe-compute{comm.rank}", 0),
+            (communicate(), f"pipe-comm{comm.rank}", 1),
+        ],
+    )
+    yield from join()
+
+
+def pipeline_point(mech_key: str, variant: str, seed: int, size: int) -> float:
+    """Sweep point: makespan (us) streaming ``CHUNKS`` chunks of ``size``
+    bytes through the pipeline under the given threading variant."""
+    if variant == "funneled":
+
+        def rank_fn(comm: Communicator) -> SimGen:
+            yield from _funneled_rank(comm, size)
+
+        level = ThreadLevel.FUNNELED
+    elif variant == "multiple":
+
+        def rank_fn(comm: Communicator) -> SimGen:
+            yield from _multiple_rank(comm, size)
+
+        level = ThreadLevel.MULTIPLE
+    else:
+        raise ValueError(f"unknown pipeline variant {variant!r}")
+    return run_workload(
+        mech_key, rank_fn, nodes=2, seed=seed, thread_level=level
+    ).makespan_us
+
+
+register(
+    Scenario(
+        name="pipeline",
+        title="Producer/consumer pipeline (funneled vs. multiple)",
+        description=(
+            "Rank 0 produces chunks, rank 1 consumes them; the funneled "
+            "variant overlaps with non-blocking calls from a single "
+            "thread, the multiple variant runs a dedicated communication "
+            "thread per rank.  Axis: chunk size in bytes."
+        ),
+        axis="chunk bytes",
+        sizes=(1024, 8192, 65536),
+        quick_sizes=(8192,),
+        point=pipeline_point,
+        variants=("funneled", "multiple"),
+    )
+)

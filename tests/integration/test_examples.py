@@ -30,7 +30,8 @@ def test_quickstart():
 @pytest.mark.slow
 def test_hybrid_stencil():
     out = run_example("hybrid_stencil.py")
-    assert out.count("[OK ]") == 2
+    assert out.count("[OK ]") == 3
+    assert "[BAD]" not in out
     assert "max error vs serial reference 0.00e+00" in out
 
 

@@ -291,6 +291,38 @@ class TestThreadLevels:
             max_time=50_000_000,
         )
         assert failures  # the second thread was caught inside the library
+        assert "MPI_THREAD_SERIALIZED" in failures[0]
+        assert "serialize" in failures[0]
+
+    def test_serialized_allows_sequential_threads(self):
+        # unlike FUNNELED, SERIALIZED allows *any* thread to call MPI as
+        # long as the calls do not overlap in time
+        bed = build_testbed(nodes=2, policy="coarse")
+        comms = create_world(bed, thread_level=ThreadLevel.SERIALIZED)
+        done = []
+
+        def sender(comm, tag, delay_ns):
+            yield Delay(delay_ns)
+            req = yield from comm.Isend(1, 64, BYTE, tag, payload=tag)
+            yield from comm.Wait(req)
+            done.append(tag)
+
+        def receiver(comm):
+            for tag in (0, 1):
+                rreq = yield from comm.Irecv(0, 1 << 20, BYTE, tag)
+                yield from comm.Wait(rreq)
+            done.append("rx")
+
+        # two different threads on node 0, strictly one after the other
+        t1 = bed.machine(0).scheduler.spawn(
+            sender(comms[0], 0, 0), name="s0", core=0, bound=True
+        )
+        t2 = bed.machine(0).scheduler.spawn(
+            sender(comms[0], 1, 40_000_000), name="s1", core=1, bound=True
+        )
+        t3 = bed.machine(1).scheduler.spawn(receiver(comms[1]), name="rx", core=0)
+        bed.run(until=lambda: t1.done and t2.done and t3.done)
+        assert sorted(done, key=str) == [0, 1, "rx"]
 
     def test_funneled_rejects_other_threads(self):
         bed = build_testbed(nodes=2, policy="fine")

@@ -84,6 +84,37 @@ class TestResultSet:
         rs.save(path)
         assert list(ResultSet.load(path)) == list(rs)
 
+    def test_to_csv_header_and_rows(self):
+        rs = ResultSet(
+            [rec(config="fine", size=8, lat=3.5, run=1), rec(size=64, lat=4.0)]
+        )
+        lines = rs.to_csv().splitlines()
+        assert lines[0] == "experiment,config,size,latency_us,run"
+        assert lines[1] == "fig3,fine,8,3.5,1"
+        assert lines[2] == "fig3,coarse,64,4.0,"  # missing extra -> empty cell
+        assert len(lines) == 3
+
+    def test_to_csv_extra_keys_sorted_union(self):
+        rs = ResultSet([rec(zeta=1), rec(alpha=2)])
+        header = rs.to_csv().splitlines()[0]
+        assert header.endswith("alpha,zeta")
+
+    def test_to_csv_quotes_and_structured_extras(self):
+        rs = ResultSet([rec(config='co,ar"se', meta={"b": 2, "a": 1})])
+        text = rs.to_csv()
+        assert '"co,ar""se"' in text  # proper CSV quoting
+        assert '{""a"": 1, ""b"": 2}' in text  # dict extras as sorted JSON
+
+    def test_to_csv_empty(self):
+        assert ResultSet().to_csv() == "experiment,config,size,latency_us\n"
+
+    def test_save_csv(self, tmp_path):
+        rs = ResultSet([rec()])
+        path = str(tmp_path / "out.csv")
+        rs.save_csv(path)
+        with open(path, encoding="utf-8") as fh:
+            assert fh.read() == rs.to_csv()
+
     @given(
         st.lists(
             st.tuples(

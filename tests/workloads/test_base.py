@@ -1,0 +1,118 @@
+"""Unit tests for the workload mechanism space and runner."""
+
+import pytest
+
+from repro.madmpi import ThreadLevel
+from repro.sim.process import Delay
+from repro.workloads.base import (
+    PROGRESSION_MODES,
+    WAIT_FACTORIES,
+    WORKLOAD_POLICIES,
+    Mechanism,
+    WorkloadError,
+    build_workload_bed,
+    mechanism_grid,
+    run_workload,
+)
+
+
+class TestMechanism:
+    def test_key_parse_roundtrip(self):
+        m = Mechanism("fine", "passive", "idle")
+        assert m.key == "fine/passive/idle"
+        assert Mechanism.parse(m.key) == m
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            Mechanism.parse("fine/busy")
+
+    def test_unknown_waiting_rejected(self):
+        with pytest.raises(ValueError):
+            Mechanism("fine", "nap", "inline")
+
+    def test_unknown_progression_rejected(self):
+        with pytest.raises(ValueError):
+            Mechanism("fine", "busy", "dma")
+
+    def test_validity(self):
+        assert Mechanism("fine", "busy", "inline").valid()
+        assert Mechanism("fine", "busy", "idle").valid()
+        # PIOMan strategies need someone to poll for them
+        for waiting in ("pioman", "passive", "fixed-spin"):
+            assert not Mechanism("fine", waiting, "inline").valid()
+            assert Mechanism("fine", waiting, "idle").valid()
+            assert Mechanism("fine", waiting, "timer").valid()
+
+
+class TestMechanismGrid:
+    def test_standard_grid(self):
+        mechs = mechanism_grid("standard")
+        assert len(mechs) == len(WORKLOAD_POLICIES) * len(WAIT_FACTORIES)
+        assert all(m.valid() for m in mechs)
+        assert len({m.key for m in mechs}) == len(mechs)
+
+    def test_full_grid_is_every_valid_combination(self):
+        mechs = mechanism_grid("full")
+        expect = [
+            Mechanism(p, w, pr)
+            for p in WORKLOAD_POLICIES
+            for w in sorted(WAIT_FACTORIES)
+            for pr in PROGRESSION_MODES
+            if Mechanism(p, w, pr).valid()
+        ]
+        assert mechs == expect
+        assert len(mechs) == 18
+
+    def test_standard_is_subset_of_full(self):
+        assert set(mechanism_grid("standard")) <= set(mechanism_grid("full"))
+
+    def test_unknown_grid_rejected(self):
+        with pytest.raises(ValueError):
+            mechanism_grid("exhaustive")
+
+
+def pingpong_rank(comm):
+    other = 1 - comm.rank
+    for i in range(3):
+        if comm.rank == 0:
+            yield from comm.send(("ping", i), other, tag=i)
+            yield from comm.recv(other, tag=i)
+        else:
+            yield from comm.recv(other, tag=i)
+            yield from comm.send(("pong", i), other, tag=i)
+    return comm.rank
+
+
+class TestRunWorkload:
+    def test_completes_and_times(self):
+        run = run_workload("fine/busy/inline", pingpong_rank, nodes=2)
+        assert run.makespan_us > 0
+        assert run.events_run > 0
+        assert run.results == [0, 1]
+
+    def test_invalid_mechanism_raises(self):
+        with pytest.raises(WorkloadError, match="needs"):
+            build_workload_bed(
+                Mechanism("fine", "passive", "inline"), nodes=2
+            )
+
+    def test_deadlock_names_stuck_ranks(self):
+        def stuck(comm):
+            if comm.rank == 1:
+                yield from comm.recv(0, tag=7)  # nobody ever sends
+            else:
+                yield Delay(1_000)
+
+        with pytest.raises(WorkloadError, match="rank1"):
+            run_workload(
+                "fine/busy/inline", stuck, nodes=2, max_time_ns=50_000_000
+            )
+
+    def test_thread_level_is_configurable(self):
+        run = run_workload(
+            "coarse/busy/inline",
+            pingpong_rank,
+            nodes=2,
+            thread_level=ThreadLevel.FUNNELED,
+        )
+        assert run.results == [0, 1]

@@ -1,0 +1,114 @@
+"""Every scenario completes under every mechanism, deterministically.
+
+This is the acceptance sweep in test form: all five scenarios run under
+every locking policy × waiting strategy (× progression) combination of
+the *full* grid without deadlocking, and a scenario point is a pure
+function of (mechanism, variant, seed, size).
+"""
+
+import pytest
+
+from repro.workloads import registry
+from repro.workloads.base import mechanism_grid
+from repro.workloads.bursty import make_schedule
+
+FULL_GRID = [m.key for m in mechanism_grid("full")]
+
+
+def scenario_cases():
+    for name in registry.names():
+        sc = registry.get(name)
+        for variant in sc.variants:
+            yield name, variant
+
+
+@pytest.mark.parametrize("mech_key", FULL_GRID)
+@pytest.mark.parametrize("name,variant", list(scenario_cases()))
+def test_every_scenario_every_mechanism(name, variant, mech_key):
+    sc = registry.get(name)
+    size = sc.quick_sizes[0]
+    makespan = sc.point(mech_key, variant, 0, size)
+    assert makespan > 0.0
+
+
+@pytest.mark.parametrize("name,variant", list(scenario_cases()))
+def test_points_are_deterministic(name, variant):
+    sc = registry.get(name)
+    size = sc.quick_sizes[-1]
+    a = sc.point("fine/busy/inline", variant, 3, size)
+    b = sc.point("fine/busy/inline", variant, 3, size)
+    assert a == b
+
+
+def test_seed_changes_the_bursty_schedule():
+    a = make_schedule(0, nodes=2, threads=2, messages=4)
+    b = make_schedule(0, nodes=2, threads=2, messages=4)
+    c = make_schedule(1, nodes=2, threads=2, messages=4)
+    assert a == b
+    assert a != c
+
+
+def test_bursty_schedule_shape():
+    sched = make_schedule(0, nodes=3, threads=2, messages=5)
+    assert sorted(sched) == [
+        (node, t) for node in range(3) for t in range(2)
+    ]
+    for (node, _t), msgs in sched.items():
+        assert len(msgs) == 5
+        for wait_ns, dest, size in msgs:
+            assert wait_ns >= 0
+            assert 0 <= dest < 3 and dest != node
+            assert 1 <= size <= 64 * 1024
+
+
+def test_registry_lists_the_five_scenarios():
+    assert registry.names() == [
+        "bursty",
+        "collectives",
+        "fanin",
+        "pipeline",
+        "stencil",
+    ]
+
+
+def test_registry_unknown_scenario():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        registry.get("warpdrive")
+
+
+def test_register_collision_rejected():
+    sc = registry.get("stencil")
+    clone = registry.Scenario(
+        name="stencil",
+        title=sc.title,
+        description=sc.description,
+        axis=sc.axis,
+        sizes=sc.sizes,
+        quick_sizes=sc.quick_sizes,
+        point=sc.point,
+        variants=sc.variants,
+    )
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register(clone)
+    registry.register(sc)  # re-registering the same object is fine
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError, match="sizes"):
+        registry.Scenario(
+            name="x", title="x", description="x", axis="x",
+            sizes=(), quick_sizes=(1,), point=lambda *a: 0.0,
+        )
+    with pytest.raises(ValueError, match="variant"):
+        registry.Scenario(
+            name="x", title="x", description="x", axis="x",
+            sizes=(1,), quick_sizes=(1,), point=lambda *a: 0.0,
+            variants=(),
+        )
+
+
+def test_sweep_sizes_quick_switch():
+    sc = registry.get("stencil")
+    assert sc.sweep_sizes(True) == sc.quick_sizes
+    assert sc.sweep_sizes(False) == sc.sizes
+    assert set(sc.quick_sizes) <= set(sc.sizes)
