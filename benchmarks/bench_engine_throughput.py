@@ -9,16 +9,23 @@ Two numbers matter for the perf trajectory:
   ``--quick``, i.e. what a contributor actually waits for.
 
 Both are written to ``BENCH_engine.json`` at the repository root so
-successive PRs can diff them.  Run standalone::
+successive PRs can diff them — together with a per-layer attribution of
+where the host CPU time goes (see :mod:`repro.bench.profile`).  Run
+standalone::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
 
 or via pytest-benchmark (``pytest benchmarks/bench_engine_throughput.py``).
+``--quick`` runs the CI smoke mode instead: a fast stack-pingpong
+measurement gated against the committed report (fails on a regression
+beyond ``REPRO_BENCH_REGRESSION_PCT`` percent, default 20) plus a
+``bench_profile_layers.json`` artifact.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
@@ -29,6 +36,7 @@ if __name__ == "__main__":  # standalone: make src/ importable without -e instal
 
 from repro.bench import figures
 from repro.bench.pingpong import run_pingpong
+from repro.bench.profile import profile_layers
 from repro.core.session import build_testbed
 from repro.sim.engine import Engine
 
@@ -143,6 +151,57 @@ def full_suite_wall_clock() -> dict:
     }
 
 
+def layer_breakdown() -> dict:
+    """Per-layer host-CPU attribution of the two stack workloads
+    (percent of profiled self-time; see :mod:`repro.bench.profile`)."""
+    out = {}
+    for key, workload in (
+        ("stack_pingpong", "pingpong"),
+        ("workload_stencil", "stencil"),
+    ):
+        report = profile_layers(workload)
+        out[key] = {layer: row["pct"] for layer, row in report["layers"].items()}
+    return out
+
+
+def quick_smoke(*, profile_out: Path | None = None, best_of: int = 3) -> dict:
+    """CI smoke: measure stack-pingpong throughput, gate it against the
+    committed ``BENCH_engine.json``, and dump the per-layer profile.
+
+    The gate fails (``ok: false``) when the measured rate is more than
+    ``REPRO_BENCH_REGRESSION_PCT`` percent (default 20) below the
+    committed ``stack_pingpong_events_per_sec`` — loose enough for shared
+    CI runners, tight enough to catch a real hot-path regression.
+    """
+    threshold = float(os.environ.get("REPRO_BENCH_REGRESSION_PCT", "20"))
+    stack_pingpong_rate()  # warm-up
+    rate = max(stack_pingpong_rate() for _ in range(best_of))
+    result: dict = {
+        "stack_pingpong_events_per_sec": round(rate),
+        "threshold_pct": threshold,
+        "ok": True,
+    }
+    if OUTPUT.exists():
+        committed = json.loads(OUTPUT.read_text(encoding="utf-8")).get(
+            "stack_pingpong_events_per_sec"
+        )
+        if committed:
+            regression = 100.0 * (1.0 - rate / committed)
+            result["committed_events_per_sec"] = committed
+            result["regression_pct"] = round(regression, 2)
+            result["ok"] = regression <= threshold
+    if profile_out is not None:
+        profile_out.write_text(
+            json.dumps(
+                {w: profile_layers(w) for w in ("pingpong", "stencil")}, indent=2
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        result["profile_artifact"] = str(profile_out)
+    return result
+
+
 def collect(*, best_of: int = 3) -> dict:
     """Measure everything; events/sec numbers take the best of ``best_of``
     runs (the max is the least noisy statistic for a throughput)."""
@@ -157,6 +216,7 @@ def collect(*, best_of: int = 3) -> dict:
         "workload_stencil_events_per_sec": round(
             max(workload_stencil_rate() for _ in range(best_of))
         ),
+        "layer_pct": layer_breakdown(),
         "tracing": tracing_overhead(best_of=best_of, baseline=stack_rate),
         "full_suite_quick": full_suite_wall_clock(),
     }
@@ -182,6 +242,20 @@ def test_engine_throughput(benchmark):
 
 
 if __name__ == "__main__":
-    report = write_report()
-    print(json.dumps(report, indent=2))
-    print(f"\nwrote {OUTPUT}")
+    if "--quick" in sys.argv:
+        # CI smoke mode: throughput gate + per-layer profile artifact,
+        # no report rewrite (BENCH_engine.json stays the committed baseline)
+        artifact = Path("bench_profile_layers.json")
+        smoke = quick_smoke(profile_out=artifact)
+        print(json.dumps(smoke, indent=2))
+        if not smoke["ok"]:
+            print(
+                f"FAIL: stack pingpong regressed {smoke['regression_pct']}% "
+                f"(threshold {smoke['threshold_pct']}%)",
+                file=sys.stderr,
+            )
+            sys.exit(1)
+    else:
+        report = write_report()
+        print(json.dumps(report, indent=2))
+        print(f"\nwrote {OUTPUT}")

@@ -1,0 +1,238 @@
+"""Layer-attribution profiler: where does a simulated second actually go?
+
+The stack/engine throughput gap is a budget question: of the host CPU time
+spent simulating one event, how much is the event loop itself
+(``sim.engine``), how much the two-level scheduler (``sim.scheduler``), the
+lock machinery (``sim.sync``), PIOMan (``pioman``), the NIC drivers
+(``net.drivers``), and the NewMadeleine library layers (``core``)?
+
+This module answers it mechanically: run a representative workload under
+:mod:`cProfile`, then aggregate per-function self-time into per-layer
+buckets keyed by module path.  Stdlib/builtin frames (``heapq``, generator
+``send``, ``dict.get``...) carry no repro module path, so their self-time
+is *attributed to the layers that called them*, pro-rated by cProfile's
+exact per-caller breakdown — the heap pushes belong to the engine, the
+generator sends to the scheduler.
+
+Run it standalone::
+
+    PYTHONPATH=src python -m repro.bench.profile [pingpong|stencil] [--json]
+
+or programmatically via :func:`profile_layers`; the engine-throughput
+benchmark embeds the result in ``BENCH_engine.json`` so every PR records
+not just *how fast* but *where the time went*.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+import sys
+import time
+from typing import Any
+
+#: attribution buckets, in reporting order
+LAYERS = (
+    "sim.engine",
+    "sim.scheduler",
+    "sim.sync",
+    "pioman",
+    "net.drivers",
+    "core",
+    "harness",
+    "other",
+)
+
+#: workloads a profile can run (name -> zero-arg callable returning the
+#: number of simulated events)
+WORKLOADS = ("pingpong", "stencil")
+
+
+def layer_of(filename: str) -> str | None:
+    """Map a profiled frame's filename to a layer bucket.
+
+    Returns None for frames outside the repro package (stdlib, builtins);
+    their self-time is attributed to calling layers instead.
+    """
+    f = filename.replace("\\", "/")
+    if "repro/sim/engine" in f:
+        return "sim.engine"
+    if "repro/sim/sync" in f:
+        return "sim.sync"
+    if "repro/sim/" in f:
+        return "sim.scheduler"
+    if "repro/pioman/" in f:
+        return "pioman"
+    if "repro/net/" in f:
+        return "net.drivers"
+    if "repro/core/" in f:
+        return "core"
+    if "repro/" in f:
+        return "harness"
+    return None
+
+
+def _run_pingpong(iterations: int) -> int:
+    from repro.bench.pingpong import run_pingpong
+    from repro.core.session import build_testbed
+
+    bed = build_testbed(policy="fine")
+    run_pingpong(bed, 1024, iterations=iterations, warmup=4)
+    return bed.engine.events_run
+
+
+def _run_stencil(steps: int) -> int:
+    from repro.workloads.stencil import run_stencil
+
+    run = run_stencil("fine/busy/inline", steps=steps, halo_bytes=4096)
+    return run.events_run
+
+
+def _attribute(stats: dict) -> tuple[dict[str, float], list[dict[str, Any]]]:
+    """Aggregate a raw ``pstats`` stats dict into per-layer self-time.
+
+    Returns ``(buckets, rows)``: seconds per layer, and the per-function
+    rows (repro frames only) for the top-function listing.
+    """
+    buckets: dict[str, float] = {layer: 0.0 for layer in LAYERS}
+    rows: list[dict[str, Any]] = []
+    for (filename, lineno, funcname), (cc, _nc, tt, _ct, callers) in stats.items():
+        layer = layer_of(filename)
+        if layer is not None:
+            buckets[layer] += tt
+            rows.append(
+                {
+                    "func": f"{filename.rsplit('/', 1)[-1]}:{lineno}({funcname})",
+                    "layer": layer,
+                    "self_s": tt,
+                    "calls": cc,
+                }
+            )
+            continue
+        # stdlib/builtin frame: pro-rate its self-time over the layers
+        # that called it.  cProfile's per-caller tuples carry the exact
+        # per-caller tottime split; fall back to call counts when the
+        # per-caller times round to zero.
+        if not callers:
+            buckets["other"] += tt
+            continue
+        weights = {k: v[2] for k, v in callers.items()}
+        total = sum(weights.values())
+        if total == 0.0:
+            weights = {k: float(v[0]) for k, v in callers.items()}
+            total = sum(weights.values())
+        if total == 0.0:
+            buckets["other"] += tt
+            continue
+        for caller_key, weight in weights.items():
+            caller_layer = layer_of(caller_key[0]) or "other"
+            buckets[caller_layer] += tt * weight / total
+    return buckets, rows
+
+
+def profile_layers(
+    workload: str = "pingpong",
+    *,
+    iterations: int = 200,
+    steps: int = 6,
+    top: int = 10,
+) -> dict[str, Any]:
+    """Profile one workload and decompose host CPU cost per layer.
+
+    Args:
+        workload: ``"pingpong"`` (fine-locking stack pingpong — the
+            stack-throughput workload) or ``"stencil"`` (the halo-exchange
+            application scenario).
+        iterations: pingpong round trips.
+        steps: stencil time steps.
+        top: how many repro functions to list individually.
+
+    Returns:
+        A JSON-ready dict: wall seconds, simulated events, per-layer
+        ``{seconds, pct}`` and the ``top`` most expensive functions.
+    """
+    if workload == "pingpong":
+        runner, arg = _run_pingpong, iterations
+    elif workload == "stencil":
+        runner, arg = _run_stencil, steps
+    else:
+        raise ValueError(f"unknown workload {workload!r}; choose from {WORKLOADS}")
+    # import the workload's modules *before* enabling the profiler, so
+    # one-time import machinery doesn't pollute the attribution
+    import repro.bench.pingpong  # noqa: F401
+    import repro.core.session  # noqa: F401
+    import repro.workloads.stencil  # noqa: F401
+
+    prof = cProfile.Profile()
+    t0 = time.perf_counter()
+    prof.enable()
+    events = runner(arg)
+    prof.disable()
+    wall = time.perf_counter() - t0
+    stats = pstats.Stats(prof).stats  # type: ignore[attr-defined]
+    buckets, rows = _attribute(stats)
+    profiled = sum(buckets.values()) or 1.0
+    rows.sort(key=lambda r: r["self_s"], reverse=True)
+    return {
+        "workload": workload,
+        "wall_s": round(wall, 4),
+        "events": events,
+        "events_per_sec": round(events / wall) if wall else None,
+        "layers": {
+            layer: {
+                "self_s": round(seconds, 4),
+                "pct": round(100.0 * seconds / profiled, 1),
+            }
+            for layer, seconds in sorted(
+                buckets.items(), key=lambda kv: kv[1], reverse=True
+            )
+            if seconds > 0.0
+        },
+        "top_functions": [
+            {
+                "func": r["func"],
+                "layer": r["layer"],
+                "self_s": round(r["self_s"], 4),
+                "calls": r["calls"],
+            }
+            for r in rows[:top]
+        ],
+    }
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`profile_layers` result."""
+    lines = [
+        f"workload: {report['workload']}  "
+        f"({report['events']} events in {report['wall_s']} s, "
+        f"{report['events_per_sec']:,} events/s)",
+        "",
+        f"{'layer':<16} {'self s':>9} {'%':>6}",
+    ]
+    for layer, row in report["layers"].items():
+        lines.append(f"{layer:<16} {row['self_s']:>9.4f} {row['pct']:>6.1f}")
+    lines.append("")
+    lines.append(f"{'top functions':<44} {'layer':<14} {'self s':>9} {'calls':>9}")
+    for row in report["top_functions"]:
+        lines.append(
+            f"{row['func']:<44} {row['layer']:<14} "
+            f"{row['self_s']:>9.4f} {row['calls']:>9}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    as_json = "--json" in argv
+    names = [a for a in argv if not a.startswith("-")] or ["pingpong"]
+    reports = [profile_layers(name) for name in names]
+    if as_json:
+        print(json.dumps(reports if len(reports) > 1 else reports[0], indent=2))
+    else:
+        print("\n\n".join(format_report(r) for r in reports))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

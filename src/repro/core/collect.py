@@ -20,23 +20,27 @@ class CollectLayer:
     def __init__(self) -> None:
         self._queues: dict[int, deque[SendRequest]] = {}
         self.submitted_total = 0
+        #: live entry count across all queues — the doorbell checks of
+        #: every progress pass read :attr:`has_pending`, so it must be O(1)
+        self._count = 0
 
     def submit(self, req: SendRequest) -> None:
         """Append a send request to its peer's list (caller holds the
         collect lock as required by the active policy)."""
         self._queues.setdefault(req.peer, deque()).append(req)
         self.submitted_total += 1
+        self._count += 1
 
     def pending(self, peer: int) -> int:
         queue = self._queues.get(peer)
         return len(queue) if queue else 0
 
     def pending_total(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+        return self._count
 
     @property
     def has_pending(self) -> bool:
-        return any(self._queues.values())
+        return self._count > 0
 
     def peers_with_pending(self) -> list[int]:
         return [peer for peer, q in self._queues.items() if q]
@@ -50,6 +54,7 @@ class CollectLayer:
         queue = self._queues.get(peer)
         if not queue:
             raise LookupError(f"no pending sends for peer {peer}")
+        self._count -= 1
         return queue.popleft()
 
     def drain_upto(self, peer: int, max_requests: int) -> list[SendRequest]:
@@ -60,4 +65,5 @@ class CollectLayer:
         queue = self._queues.get(peer)
         while queue and len(out) < max_requests:
             out.append(queue.popleft())
+        self._count -= len(out)
         return out

@@ -117,6 +117,44 @@ class NewMadeleine:
         self.packets_posted = {k: 0 for k in PacketKind}
         self.progress_passes = 0
 
+        # reusable effect objects for the fixed-cost yields of the progress
+        # and submission paths.  The scheduler only reads effects, and the
+        # lock points are structurally fixed per policy, so one instance of
+        # each serves every pass — this removes an allocation per yield from
+        # the hottest generator loops.
+        self._eff_doorbell = Delay(self.costs.doorbell_ns, "poll")
+        self._eff_sched_scan = Delay(self.costs.sched_scan_ns, "poll")
+        self._eff_match = Delay(self.costs.match_ns, "overhead")
+        self._eff_complete = Delay(self.costs.complete_ns, "overhead")
+        self._eff_optimizer = Delay(self.costs.optimizer_pass_ns, "overhead")
+        self._eff_submit = Delay(
+            self.costs.submit_ns + self.policy.per_message_extra_ns, "overhead"
+        )
+        self._eff_recv_post = Delay(self.costs.recv_post_ns, "overhead")
+        self._acq_send = Acquire(self.policy.send_section())
+        self._rel_send = Release(self.policy.send_section())
+        self._acq_collect = Acquire(self.policy.collect_lock())
+        self._rel_collect = Release(self.policy.collect_lock())
+        #: per-driver (Acquire, Release) pairs for the rx/tx lock points
+        self._rx_eff: dict[str, tuple[Acquire, Release]] = {}
+        self._tx_eff: dict[str, tuple[Acquire, Release]] = {}
+
+    def _rx_lock_eff(self, driver: "Driver") -> tuple[Acquire, Release]:
+        eff = self._rx_eff.get(driver.name)
+        if eff is None:
+            lock = self.policy.rx_lock(driver)
+            eff = (Acquire(lock), Release(lock))
+            self._rx_eff[driver.name] = eff
+        return eff
+
+    def _tx_lock_eff(self, driver: "Driver") -> tuple[Acquire, Release]:
+        eff = self._tx_eff.get(driver.name)
+        if eff is None:
+            lock = self.policy.tx_lock(driver)
+            eff = (Acquire(lock), Release(lock))
+            self._tx_eff[driver.name] = eff
+        return eff
+
     # ------------------------------------------------------------------ wiring
 
     def add_peer(self, node_id: int, rails: list["Driver"]) -> None:
@@ -206,22 +244,20 @@ class NewMadeleine:
         req.stamp("submitted")
         req.submit_core = yield WhereAmI()
         inline = self.submit_offload is None or self.submit_offload.inline
-        yield Acquire(self.policy.send_section())
-        yield Acquire(self.policy.collect_lock())
-        yield Delay(
-            self.costs.submit_ns + self.policy.per_message_extra_ns, "overhead"
-        )
+        yield self._acq_send
+        yield self._acq_collect
+        yield self._eff_submit
         self.collect.submit(req)
         if inline and any(d.tx_idle for d in rails):
-            yield Delay(self.costs.optimizer_pass_ns, "overhead")
+            yield self._eff_optimizer
             plan = self.strategy.assemble(self, peer, rails)
             if plan:
                 # the transfer push nests inside the collect hold
                 # (collect -> tx order everywhere): two concurrent flushers
                 # must not invert the pop order on the wire
                 yield from self._push_and_drain(plan)
-        yield Release(self.policy.collect_lock())
-        yield Release(self.policy.send_section())
+        yield self._rel_collect
+        yield self._rel_send
         if not inline:
             yield from self.submit_offload.after_submit(self, peer)
         return req
@@ -240,7 +276,7 @@ class NewMadeleine:
         req = RecvRequest(self.machine, peer, tag, size, tag_bounds=tag_bounds)
         req.stamp("posted")
         self.irecv_count += 1
-        yield Delay(self.costs.recv_post_ns, "overhead")
+        yield self._eff_recv_post
         if self.matching.has_unexpected:
             matched = yield from self._claim_unexpected(req)
             if matched:
@@ -261,15 +297,15 @@ class NewMadeleine:
         full scan first.
         """
         self.progress_passes += 1
-        yield Delay(self.costs.doorbell_ns, "poll")
+        yield self._eff_doorbell
         did = False
         # fresh submissions first: an offloaded isend sits in the collect
         # layer, and flushing it before the (expensive) poll keeps the
         # idle-core submission path short (§4.2)
         if self.collect.has_pending and any(d.tx_idle for d in self.drivers):
-            yield Acquire(self.policy.send_section())
+            yield self._acq_send
             sent = yield from self._send_side_pass()
-            yield Release(self.policy.send_section())
+            yield self._rel_send
             did = did or sent
         for driver in self.drivers:
             # under coarse locking even an empty poll is a library entry
@@ -284,21 +320,22 @@ class NewMadeleine:
                 if not pending:
                     continue
                 probed = True
-            yield Acquire(self.policy.rx_lock(driver))
+            acq, rel = self._rx_lock_eff(driver)
+            yield acq
             packet = yield from driver.poll(after_probe=probed)
             if packet is not None:
                 yield from self._handle_packet(packet)
                 did = True
-            yield Release(self.policy.rx_lock(driver))
+            yield rel
             if did and early_exit is not None and early_exit():
                 return True
         # the scheduler scan every entry performs (walking peer/driver
         # lists); reading the list heads is lock-free
-        yield Delay(self.costs.sched_scan_ns, "poll")
+        yield self._eff_sched_scan
         if self._send_work_pending():
-            yield Acquire(self.policy.send_section())
+            yield self._acq_send
             sent = yield from self._send_side_pass()
-            yield Release(self.policy.send_section())
+            yield self._rel_send
             did = did or sent
         return did
 
@@ -333,9 +370,9 @@ class NewMadeleine:
         """Run send-side work only (offloaded submission entry point)."""
         if not self._send_work_pending():
             return False
-        yield Acquire(self.policy.send_section())
+        yield self._acq_send
         did = yield from self._send_side_pass()
-        yield Release(self.policy.send_section())
+        yield self._rel_send
         return did
 
     def wait(self, req, strategy=None) -> SimGen:
@@ -344,9 +381,8 @@ class NewMadeleine:
         ``strategy`` is a :class:`repro.core.waiting.WaitStrategy`; the
         default busy-waits by driving :meth:`progress`.
         """
-        from repro.core.waiting import BusyWait
-
-        strategy = strategy or BusyWait()
+        if strategy is None:
+            strategy = _DEFAULT_BUSY_WAIT
         yield from strategy.wait(self, req)
         return req
 
@@ -444,7 +480,7 @@ class NewMadeleine:
         core = yield WhereAmI()
         if packet.kind is PacketKind.DATA:
             for chunk in packet.chunks:
-                yield Delay(self.costs.match_ns, "overhead")
+                yield self._eff_match
                 req = self.matching.match_chunk(chunk)
                 if req is None:
                     continue  # stashed as unexpected
@@ -454,10 +490,10 @@ class NewMadeleine:
                 if req.state is ReqState.PENDING:
                     req.state = ReqState.IN_TRANSIT
                 if self.matching.finish_chunk(chunk, req):
-                    yield Delay(self.costs.complete_ns, "overhead")
+                    yield self._eff_complete
                     req.complete(core=core)
         elif packet.kind is PacketKind.RTS:
-            yield Delay(self.costs.match_ns, "overhead")
+            yield self._eff_match
             req = self.matching.match_rts(
                 packet.src_node, packet.rdv_req_id, packet.rdv_tag, packet.rdv_size
             )
@@ -497,7 +533,7 @@ class NewMadeleine:
         while self._pending_rdv_data:
             req_id = self._pending_rdv_data.popleft()
             req = self._send_reqs[req_id]
-            yield Delay(self.costs.optimizer_pass_ns, "overhead")
+            yield self._eff_optimizer
             plan.extend(self.strategy.make_rdv_data(self, req, self.rails(req.peer)))
         did = bool(plan)
         if plan:
@@ -508,28 +544,29 @@ class NewMadeleine:
         #    the transfer push nests inside the hold so concurrent flushers
         #    cannot invert the wire order)
         if self.collect.has_pending:
-            yield Acquire(self.policy.collect_lock())
+            yield self._acq_collect
             for peer in self.collect.peers_with_pending():
                 rails = self.rails(peer)
                 if not any(d.tx_idle for d in rails):
                     continue
-                yield Delay(self.costs.optimizer_pass_ns, "overhead")
+                yield self._eff_optimizer
                 plan.extend(self.strategy.assemble(self, peer, rails))
             if plan:
                 did = True
                 yield from self._push_and_drain(plan)
-            yield Release(self.policy.collect_lock())
+            yield self._rel_collect
         # 4. leftover transfer-queue entries (queued while the NIC was busy)
         for driver in self.drivers:
             if self.transfer.pending(driver) and driver.tx_idle:
-                yield Acquire(self.policy.tx_lock(driver))
+                acq, rel = self._tx_lock_eff(driver)
+                yield acq
                 while driver.tx_idle:
                     packet = self.transfer.pop(driver)
                     if packet is None:
                         break
                     yield from self._post_packet(driver, packet)
                     did = True
-                yield Release(self.policy.tx_lock(driver))
+                yield rel
         return did
 
     def _push_and_drain(self, plan: Plan) -> SimGen:
@@ -542,7 +579,8 @@ class NewMadeleine:
         for driver, packet in plan:
             by_driver.setdefault(driver.name, (driver, []))[1].append(packet)
         for driver, packets in by_driver.values():
-            yield Acquire(self.policy.tx_lock(driver))
+            acq, rel = self._tx_lock_eff(driver)
+            yield acq
             for packet in packets:
                 self.transfer.push(driver, packet)
             while True:
@@ -550,7 +588,7 @@ class NewMadeleine:
                 if packet is None:
                     break
                 yield from self._post_packet(driver, packet)
-            yield Release(self.policy.tx_lock(driver))
+            yield rel
 
     def _descriptor_transfer_ns(self, packet: Packet, core: int) -> int:
         """Cache-transfer price of posting a packet whose send was submitted
@@ -588,7 +626,7 @@ class NewMadeleine:
             if sreq.state in (ReqState.PENDING, ReqState.RTS_SENT):
                 sreq.state = ReqState.IN_TRANSIT
             if sreq.all_bytes_done:
-                yield Delay(self.costs.complete_ns, "overhead")
+                yield self._eff_complete
                 sreq.complete(core=core)
                 del self._send_reqs[sreq.req_id]
 
@@ -603,3 +641,10 @@ class NewMadeleine:
             f"<NewMadeleine node={self.node_id} policy={self.policy.name} "
             f"strategy={self.strategy.name} drivers={[d.name for d in self.drivers]}>"
         )
+
+
+# imported at the bottom to dodge the module cycle; BusyWait is stateless,
+# so every default nm_wait shares one instance
+from repro.core.waiting import BusyWait as _BusyWait  # noqa: E402
+
+_DEFAULT_BUSY_WAIT = _BusyWait()

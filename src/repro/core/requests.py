@@ -46,6 +46,9 @@ class Request:
         self.tag = tag
         self.size = size
         self.state = ReqState.PENDING
+        #: plain attribute (set by :meth:`complete`), not a property — the
+        #: progression engine and PIOMan's reap path poll it per pass
+        self.done = False
         self.completion = Completion(machine, name=f"req{self.req_id}")
         #: bytes handed to / received from the network so far
         self.bytes_done = 0
@@ -60,15 +63,28 @@ class Request:
         #: sends record "submitted"/"injected"/"completed"; receives record
         #: "posted"/"arrived"/"matched"/"completed"
         self.timeline: dict[str, int] = {}
+        #: completion callbacks (lazy; most requests have none) — PIOMan's
+        #: reap path subscribes here so its poll ticks never rescan the
+        #: whole request list
+        self._done_cbs: list | None = None
+
+    def on_done(self, cb) -> None:
+        """Run ``cb(request)`` at completion (immediately if already done).
+
+        Callbacks run synchronously inside :meth:`complete` and must not
+        yield effects — they are host-side bookkeeping hooks.
+        """
+        if self.done:
+            cb(self)
+        elif self._done_cbs is None:
+            self._done_cbs = [cb]
+        else:
+            self._done_cbs.append(cb)
 
     def stamp(self, event: str, time_ns: int | None = None) -> None:
         """Record the first occurrence of a lifecycle event."""
         when = self.machine.engine.now if time_ns is None else time_ns
         self.timeline.setdefault(event, when)
-
-    @property
-    def done(self) -> bool:
-        return self.state is ReqState.DONE
 
     def add_bytes(self, n: int) -> None:
         if n < 0:
@@ -88,9 +104,15 @@ class Request:
         if self.done:
             raise RuntimeError(f"request {self.req_id} completed twice")
         self.state = ReqState.DONE
+        self.done = True
         self.completed_at = self.machine.engine.now
         self.stamp("completed")
         self.completion.fire(self, core=core)
+        cbs = self._done_cbs
+        if cbs is not None:
+            self._done_cbs = None
+            for cb in cbs:
+                cb(self)
 
     def __repr__(self) -> str:
         return (

@@ -49,6 +49,10 @@ class Driver:
         self.name = name
         self.caps = caps or DriverCaps()
         self.nic = SimNIC(machine, model, f"{machine.name}/{name}")
+        # reusable effect objects: polls dominate the event stream, and the
+        # scheduler only reads (ns, category), so one instance serves all
+        self._eff_poll = Delay(self.model.poll_ns, "poll")
+        self._eff_claim = Delay(self.CLAIM_NS, "poll")
 
     # -- send ------------------------------------------------------------------
 
@@ -92,7 +96,7 @@ class Driver:
         positive probe charges only the cheap claim (the completion event
         was already read).
         """
-        yield Delay(self.CLAIM_NS if after_probe else self.model.poll_ns, "poll")
+        yield self._eff_claim if after_probe else self._eff_poll
         packet = self.nic.rx_pop()
         if packet is None:
             return None
@@ -107,7 +111,7 @@ class Driver:
         completion counter only); the busy-wait fast path of the fine-grain
         policies.
         """
-        yield Delay(self.model.poll_ns, "poll")
+        yield self._eff_poll
         return self.nic.rx_pending
 
     @property

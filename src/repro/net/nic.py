@@ -88,7 +88,7 @@ class SimNIC:
         self.tx_packets += 1
         self.tx_bytes += wire_size
         arrive = depart + self.model.wire_latency_ns
-        engine.schedule_at(arrive, self.peer._deliver, packet, wire_size)
+        engine.call_at(arrive, self.peer._deliver, packet, wire_size)
         return start
 
     @property
@@ -110,7 +110,7 @@ class SimNIC:
         self.engine_free_at = ready
         self.rx_bytes += wire_size
         if ready > engine.now:
-            engine.schedule_at(ready, self._rx_complete, packet)
+            engine.call_at(ready, self._rx_complete, packet)
         else:
             self._rx_complete(packet)
 

@@ -33,10 +33,19 @@ class PIOMan:
         self.costs = costs or CostModel()
         self.libs: list[NewMadeleine] = []
         self._pending: dict[int, Request] = {}
+        #: requests whose completion callback has fired but whose
+        #: management cost has not been charged yet.  Completion *pushes*
+        #: here, so a poll tick touches exactly the completed requests —
+        #: it never rescans the whole pending list.
+        self._done_ready: list[Request] = []
         # statistics
         self.registered_total = 0
         self.completed_total = 0
         self.poll_passes = 0
+        # reusable effect objects (the scheduler only reads effects)
+        self._eff_pass = Delay(self.costs.pioman_pass_ns, "poll")
+        self._eff_register = Delay(self.costs.pioman_register_ns, "overhead")
+        self._eff_complete = Delay(self.costs.pioman_complete_ns, "overhead")
 
     # -- attachment ----------------------------------------------------------
 
@@ -58,11 +67,12 @@ class PIOMan:
         """Enter a request into PIOMan's lists (idempotent)."""
         if req.req_id in self._pending:
             return
-        yield Delay(self.costs.pioman_register_ns, "overhead")
+        yield self._eff_register
         if req.done:
             return
         self._pending[req.req_id] = req
         self.registered_total += 1
+        req.on_done(self._done_ready.append)
         # make sure napping idle loops notice the new demand
         self.machine.scheduler.poke_idle()
 
@@ -81,21 +91,24 @@ class PIOMan:
         per-request management cost is always charged.
         """
         self.poll_passes += 1
-        yield Delay(self.costs.pioman_pass_ns, "poll")
+        yield self._eff_pass
         did = False
         for lib in self.libs:
             result = yield from lib.progress(early_exit=early_exit)
             did = did or result
             if early_exit is not None and early_exit():
                 break
-        # snapshot: polls are reentrant at event granularity (several cores
-        # run PIOMan passes concurrently), so another pass may reap a
-        # request between our scan and our pop
-        finished = [rid for rid, req in self._pending.items() if req.done]
+        # reap exactly the requests whose completion was pushed onto the
+        # done list — never a scan of everything pending.  Polls stay
+        # reentrant at event granularity (several cores run PIOMan passes
+        # concurrently): the pop-with-default below makes two passes
+        # draining the same list charge each request once.
         reaped = 0
-        for rid in finished:
-            if self._pending.pop(rid, None) is not None:
-                yield Delay(self.costs.pioman_complete_ns, "overhead")
+        ready = self._done_ready
+        while ready:
+            req = ready.pop()
+            if self._pending.pop(req.req_id, None) is not None:
+                yield self._eff_complete
                 self.completed_total += 1
                 reaped += 1
         return did or reaped > 0

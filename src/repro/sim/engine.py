@@ -7,11 +7,28 @@ wall-clock time — while each node has its own :class:`~repro.sim.machine.Machi
 
 Determinism: ties at equal timestamps are broken by insertion order, so a
 given program always produces the same trace.
+
+Queue layout (the hot path of the whole simulator):
+
+* future events live in a heap of ``(time, seq, fn, args, handle)``
+  tuples — tuple comparison resolves on the leading ints in C, so heap
+  operations never call back into Python comparison methods;
+* events scheduled *at the current timestamp* (the delay-0 dispatch/wake
+  traffic) bypass the heap entirely: they append to a FIFO *now bucket*
+  drained after the heap's entries for that timestamp.  Sequence order is
+  structural — every heap entry at time *t* predates the clock reaching
+  *t*, so it outranks every bucket entry, and the bucket itself is FIFO;
+* fire-and-forget events (:meth:`Engine.call_after` / :meth:`Engine.call_at`
+  — the scheduler/NIC/PIOMan fast path for the dominant short fixed-delay
+  events) carry no :class:`EventHandle` at all: the old per-event handle
+  allocation is gone, and the cancel token survives only on the
+  user-facing :meth:`schedule`/:meth:`schedule_at` API, shrunk to a
+  two-slot object.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.sim.errors import SimDeadlock, SimTimeLimit
@@ -20,26 +37,30 @@ from repro.sim.errors import SimDeadlock, SimTimeLimit
 class EventHandle:
     """Cancellation token for a scheduled event."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("cancelled", "_engine")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
+    def __init__(self, engine: "Engine | None") -> None:
         self.cancelled = False
+        #: back-reference for O(1) pending() accounting; cleared when the
+        #: event fires so a late cancel() is a no-op
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; safe after firing."""
-        self.cancelled = True
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        engine = self._engine
+        if engine is not None:
+            self._engine = None
+            self.cancelled = True
+            engine._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        name = getattr(self.fn, "__qualname__", repr(self.fn))
-        return f"<EventHandle t={self.time} {name} {state}>"
+        if self.cancelled:
+            state = "cancelled"
+        elif self._engine is None:
+            state = "fired"
+        else:
+            state = "pending"
+        return f"<EventHandle {state}>"
 
 
 class Engine:
@@ -47,8 +68,17 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[EventHandle] = []
+        #: future events: (time, seq, fn, args, handle-or-None) tuples
+        self._heap: list[tuple] = []
+        #: events at the *current* timestamp: (fn, args, handle-or-None),
+        #: FIFO, drained after the heap's entries for this timestamp
+        self._bucket: list[tuple] = []
+        #: index of the next unconsumed bucket entry (persisted so an
+        #: `until` exit can resume mid-bucket)
+        self._pos = 0
         self._seq = 0
+        #: scheduled, not-yet-run, not-cancelled events (O(1) pending())
+        self._live = 0
         self._events_run = 0
         self._running = False
 
@@ -59,10 +89,13 @@ class Engine:
         delay_ns = int(delay_ns)
         if delay_ns < 0:
             raise ValueError(f"cannot schedule in the past: delay {delay_ns}")
-        # hot path: inlined schedule_at (one call frame per event matters)
-        handle = EventHandle(self.now + delay_ns, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, handle)
+        handle = EventHandle(self)
+        self._live += 1
+        if delay_ns:
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (self.now + delay_ns, seq, fn, args, handle))
+        else:
+            self._bucket.append((fn, args, handle))
         return handle
 
     def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -70,14 +103,49 @@ class Engine:
         time_ns = int(time_ns)
         if time_ns < self.now:
             raise ValueError(f"cannot schedule in the past: t={time_ns} < now={self.now}")
-        handle = EventHandle(time_ns, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, handle)
+        handle = EventHandle(self)
+        self._live += 1
+        if time_ns > self.now:
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (time_ns, seq, fn, args, handle))
+        else:
+            self._bucket.append((fn, args, handle))
         return handle
 
+    def call_after(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancel token is created, so
+        the event costs one heap tuple (or one bucket entry for delay 0)
+        and nothing else.
+
+        This is the interface the scheduler/NIC/PIOMan hot paths use for
+        the dominant short fixed-delay events (context switches, lock
+        costs, poll ticks, delay-0 dispatches).
+        """
+        delay_ns = int(delay_ns)
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule in the past: delay {delay_ns}")
+        self._live += 1
+        if delay_ns:
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (self.now + delay_ns, seq, fn, args, None))
+        else:
+            self._bucket.append((fn, args, None))
+
+    def call_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at` (no cancel token)."""
+        time_ns = int(time_ns)
+        if time_ns < self.now:
+            raise ValueError(f"cannot schedule in the past: t={time_ns} < now={self.now}")
+        self._live += 1
+        if time_ns > self.now:
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (time_ns, seq, fn, args, None))
+        else:
+            self._bucket.append((fn, args, None))
+
     def pending(self) -> int:
-        """Number of queued, not-yet-cancelled events."""
-        return sum(1 for h in self._queue if not h.cancelled)
+        """Number of queued, not-yet-cancelled events (O(1))."""
+        return self._live
 
     @property
     def events_run(self) -> int:
@@ -108,7 +176,10 @@ class Engine:
         Raises:
             SimDeadlock: the queue drained while ``until`` was given and
                 still false — the awaited condition can never happen.
-            SimTimeLimit: a safety limit tripped.
+            SimTimeLimit: a safety limit tripped.  The queue stays
+                consistent: the event that would have crossed the limit is
+                *not* consumed, so a caught limit can be followed by
+                diagnostics (or a resumed run with a larger limit).
         """
         if self._running:
             raise RuntimeError("Engine.run is not reentrant")
@@ -118,27 +189,71 @@ class Engine:
         # the loop below is the simulator's hottest code: locals shave an
         # attribute lookup per touch, and the unlimited/no-predicate run —
         # the common case — skips every guard it can
-        queue = self._queue
-        heappop = heapq.heappop
+        heap = self._heap
+        bucket = self._bucket
+        pos = self._pos
         events_this_run = 0
         try:
-            while queue:
-                handle = heappop(queue)
-                if handle.cancelled:
+            while True:
+                if heap:
+                    entry = heap[0]
+                    if entry[0] == self.now:
+                        # heap entries at the current time predate the
+                        # clock reaching it: they outrank the now bucket
+                        heappop(heap)
+                        handle = entry[4]
+                        if handle is not None:
+                            if handle.cancelled:
+                                continue
+                            handle._engine = None
+                        if max_events is not None and events_this_run >= max_events:
+                            heappush(heap, entry)  # leave the event queued
+                            raise SimTimeLimit(
+                                f"simulation exceeded max_events={max_events}"
+                            )
+                        self._live -= 1
+                        events_this_run += 1
+                        entry[2](*entry[3])
+                        if until is not None and until():
+                            return "until"
+                        continue
+                if pos < len(bucket):
+                    entry = bucket[pos]
+                    pos += 1
+                    handle = entry[2]
+                    if handle is not None:
+                        if handle.cancelled:
+                            continue
+                        handle._engine = None
+                    if max_events is not None and events_this_run >= max_events:
+                        pos -= 1  # leave the event queued
+                        raise SimTimeLimit(
+                            f"simulation exceeded max_events={max_events}"
+                        )
+                    self._live -= 1
+                    events_this_run += 1
+                    entry[0](*entry[1])
+                    if until is not None and until():
+                        return "until"
                     continue
-                time = handle.time
-                if max_time is not None and time > max_time:
-                    raise SimTimeLimit(
-                        f"simulation exceeded max_time={max_time} ns (now={self.now})"
-                    )
-                if max_events is not None and events_this_run >= max_events:
-                    raise SimTimeLimit(f"simulation exceeded max_events={max_events}")
-                assert time >= self.now, "event queue went backwards"
-                self.now = time
-                events_this_run += 1
-                handle.fn(*handle.args)
-                if until is not None and until():
-                    return "until"
+                if heap:
+                    # bucket drained: advance the clock to the next time
+                    time = heap[0][0]
+                    if max_time is not None and time > max_time:
+                        handle = heap[0][4]
+                        if handle is not None and handle.cancelled:
+                            heappop(heap)  # cancelled: drop silently
+                            continue
+                        raise SimTimeLimit(
+                            f"simulation exceeded max_time={max_time} ns "
+                            f"(now={self.now})"
+                        )
+                    self.now = time
+                    if bucket:
+                        del bucket[:]
+                    pos = 0
+                    continue
+                break
             if until is not None:
                 raise SimDeadlock(
                     f"event queue drained at t={self.now} ns but the awaited "
@@ -146,5 +261,6 @@ class Engine:
                 )
             return "drained"
         finally:
+            self._pos = pos
             self._events_run += events_this_run
             self._running = False

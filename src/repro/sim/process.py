@@ -159,6 +159,7 @@ class SimThread:
         "gen",
         "name",
         "state",
+        "done",
         "core",
         "bound",
         "is_idle",
@@ -187,6 +188,9 @@ class SimThread:
         self.gen = gen
         self.name = name
         self.state = ThreadState.NEW
+        #: plain attribute, not a property: the `until` predicates of every
+        #: benchmark poll it once per event, so the attribute read matters
+        self.done = False
         #: preferred/bound core index (None = any)
         self.core = core
         #: if True the thread never migrates off :attr:`core`
@@ -204,10 +208,6 @@ class SimThread:
         self._resume_value: Any = None
 
     @property
-    def done(self) -> bool:
-        return self.state in (ThreadState.DONE, ThreadState.FAILED)
-
-    @property
     def failed(self) -> bool:
         return self.state is ThreadState.FAILED
 
@@ -222,6 +222,7 @@ class SimThread:
         self.result = result
         self.exc = exc
         self.state = ThreadState.FAILED if exc is not None else ThreadState.DONE
+        self.done = True
         cbs, self._finish_cbs = self._finish_cbs, []
         for cb in cbs:
             cb(self)

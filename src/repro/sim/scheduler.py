@@ -153,7 +153,7 @@ class Marcel:
         thread.placed_on = core.index
         core.idle_thread = thread
         if core.current is None:
-            self.engine.schedule(0, self._dispatch, core)
+            self.engine.call_after(0, self._dispatch, core)
         return thread
 
     # ---------------------------------------------------------------- placement
@@ -185,7 +185,7 @@ class Marcel:
         if core.current is None:
             # dispatch through the event queue: spawn/wake never run the
             # target thread reentrantly inside the caller's stack
-            self.engine.schedule(0, self._dispatch, core)
+            self.engine.call_after(0, self._dispatch, core)
         elif core.current.is_idle:
             # a real thread appeared: get the idle loop out of its nap
             self.kick(core.current)
@@ -212,18 +212,20 @@ class Marcel:
         thread.placed_on = core.index
         thread.state = ThreadState.RUNNING
         switch_ns = 0
+        traced = self.machine.tracer is not None
         if core.last_thread is not None and core.last_thread is not thread:
             self.ctx_switches += 1
             switch_ns = self.costs.ctx_switch_ns
             switch_ns += self._run_inline_hooks("ctx_switch", core)
-            self.machine._trace(
-                "switch", thread, core.index, f"from {core.last_thread.name}"
-            )
-        else:
+            if traced:
+                self.machine._trace(
+                    "switch", thread, core.index, f"from {core.last_thread.name}"
+                )
+        elif traced:
             self.machine._trace("dispatch", thread, core.index)
         if switch_ns:
             core.account("ctxswitch", switch_ns)
-            self.engine.schedule(switch_ns, self._advance, thread)
+            self.engine.call_after(switch_ns, self._advance, thread)
         else:
             self._advance(thread)
 
@@ -241,14 +243,15 @@ class Marcel:
         """Drive ``thread`` until its next non-inline effect."""
         if thread.done:
             return
-        core = self.machine.cores[thread.placed_on]
+        machine = self.machine
+        core = machine.cores[thread.placed_on]
         assert core.current is thread, f"{thread} advanced while not current on {core}"
         send = value if value is not None else thread._resume_value
         thread._resume_value = None
-        gen = thread.gen
-        gen_send = gen.send
+        gen_send = thread.gen.send
         effect_codes = _EFFECT_CODES
-        engine_schedule = self.engine.schedule
+        call_after = self.engine.call_after
+        busy = core._busy
         while True:
             try:
                 eff = gen_send(send)
@@ -264,10 +267,12 @@ class Marcel:
             if code is None:
                 code = _resolve_effect_code(eff)
             if code == _EFF_DELAY:
-                if eff.ns == 0:
+                ns = eff.ns
+                if ns == 0:
                     continue
-                core.account(eff.category, eff.ns)
-                engine_schedule(eff.ns, self._advance, thread)
+                category = eff.category
+                busy[category] = busy.get(category, 0) + ns
+                call_after(ns, self._advance, thread)
                 return
             if code == _EFF_WHERE:
                 send = core.index
@@ -279,37 +284,44 @@ class Marcel:
                 lock = eff.lock
                 if lock.is_null:
                     continue
-                core.account("lock", lock.acquire_ns)
-                engine_schedule(lock.acquire_ns, self._acquire_attempt, thread, lock)
+                ns = lock.acquire_ns
+                if ns:
+                    busy["lock"] = busy.get("lock", 0) + ns
+                call_after(ns, self._acquire_attempt, thread, lock)
                 return
             if code == _EFF_RELEASE:
                 lock = eff.lock
                 if lock.is_null:
                     continue
-                core.account("lock", lock.release_ns)
-                engine_schedule(lock.release_ns, self._do_release, thread, lock)
+                ns = lock.release_ns
+                if ns:
+                    busy["lock"] = busy.get("lock", 0) + ns
+                call_after(ns, self._do_release, thread, lock)
                 return
             if code == _EFF_TRY:
                 lock = eff.lock
                 if lock.is_null:
                     send = True
                     continue
-                core.account("lock", lock.acquire_ns)
-                engine_schedule(lock.acquire_ns, self._try_attempt, thread, lock)
+                ns = lock.acquire_ns
+                if ns:
+                    busy["lock"] = busy.get("lock", 0) + ns
+                call_after(ns, self._try_attempt, thread, lock)
                 return
             if code == _EFF_BLOCK:
                 if eff.queue is not None:
                     eff.queue.append(thread)
                 thread.state = ThreadState.BLOCKED
-                self.machine._trace("block", thread, core.index, eff.reason)
+                if machine.tracer is not None:
+                    machine._trace("block", thread, core.index, eff.reason)
                 self._leave_core(core, thread)
                 return
             if code == _EFF_SLEEP:
                 thread.state = ThreadState.SLEEPING
-                if not thread.is_idle:
-                    self.machine._trace("sleep", thread, core.index)
+                if machine.tracer is not None and not thread.is_idle:
+                    machine._trace("sleep", thread, core.index)
                 if eff.ns is not None:
-                    thread._sleep_handle = engine_schedule(
+                    thread._sleep_handle = self.engine.schedule(
                         eff.ns, self._sleep_done, thread
                     )
                 self._leave_core(core, thread)
@@ -322,15 +334,15 @@ class Marcel:
                 if core.runq:
                     thread.state = ThreadState.READY
                     core.runq.append(thread)
-                    if self.machine.tracer is not None:
-                        self.machine._trace(
+                    if machine.tracer is not None:
+                        machine._trace(
                             "runq", thread, core.index, str(len(core.runq))
                         )
                     self._leave_core(core, thread)
                     return
                 # nobody to yield to: go through the event queue so that
                 # same-timestamp events interleave, then continue
-                engine_schedule(0, self._advance, thread)
+                call_after(0, self._advance, thread)
                 return
             raise SimProtocolError(f"thread {thread.name!r} yielded invalid effect {eff!r}")
 
@@ -340,7 +352,8 @@ class Marcel:
         self._dispatch(core)
 
     def _retire(self, core: Core, thread: SimThread, result: Any, exc: BaseException | None) -> None:
-        self.machine._trace("retire", thread, core.index, "failed" if exc else "")
+        if self.machine.tracer is not None:
+            self.machine._trace("retire", thread, core.index, "failed" if exc else "")
         if exc is not None:
             self.machine._record_failure(thread)
         thread._finish(result, exc)
@@ -372,7 +385,8 @@ class Marcel:
         lock.spinners.append(thread)
         thread.state = ThreadState.SPINNING
         thread._spin_since = self.engine.now
-        self.machine._trace("spin-begin", thread, core.index, lock.name)
+        if self.machine.tracer is not None:
+            self.machine._trace("spin-begin", thread, core.index, lock.name)
 
     def _do_release(self, thread: SimThread, lock: Any) -> None:
         if lock.owner is not thread:
@@ -391,10 +405,11 @@ class Marcel:
             ncore.account("spin", spun)
             nxt._spin_since = None
             nxt.state = ThreadState.RUNNING
-            self.machine._trace("spin-end", nxt, ncore.index, lock.name)
+            if self.machine.tracer is not None:
+                self.machine._trace("spin-end", nxt, ncore.index, lock.name)
             handoff = self.costs.spin_handoff_ns
             ncore.account("lock", handoff)
-            self.engine.schedule(handoff, self._advance, nxt)
+            self.engine.call_after(handoff, self._advance, nxt)
         self._advance(thread)
 
     def _try_attempt(self, thread: SimThread, lock: Any) -> None:
@@ -420,9 +435,10 @@ class Marcel:
             )
         # mark in transit so a double wake is caught
         thread.state = ThreadState.READY
-        self.machine._trace("wake", thread, thread.placed_on, f"delay={delay_ns}")
+        if self.machine.tracer is not None:
+            self.machine._trace("wake", thread, thread.placed_on, f"delay={delay_ns}")
         if delay_ns:
-            self.engine.schedule(delay_ns, self._wake_now, thread, value)
+            self.engine.call_after(delay_ns, self._wake_now, thread, value)
         else:
             self._wake_now(thread, value)
 
@@ -443,7 +459,7 @@ class Marcel:
             thread._sleep_handle = None
         thread.state = ThreadState.READY
         thread._resume_value = False
-        if not thread.is_idle:
+        if self.machine.tracer is not None and not thread.is_idle:
             self.machine._trace("kick", thread, thread.placed_on)
         self._enqueue(thread)
 

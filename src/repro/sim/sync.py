@@ -31,7 +31,27 @@ from repro.sim.process import Acquire, Block, Delay, Release, SimGen, SimThread
 
 
 class _LockBase:
-    """Common interface consumed by the scheduler."""
+    """Common interface consumed by the scheduler.
+
+    ``__slots__``: every lock-point acquire/release crosses these objects,
+    and fine-grained policies create one lock per point — the per-instance
+    dict is measurable allocation and lookup traffic.
+    """
+
+    __slots__ = (
+        "name",
+        "acquire_ns",
+        "release_ns",
+        "owner",
+        "spinners",
+        "acquisitions",
+        "contentions",
+        "holds",
+        "hold_ns_total",
+        "hold_max_ns",
+        "hold_hist",
+        "_granted_at",
+    )
 
     is_null = False
 
@@ -88,6 +108,8 @@ class NullLock(_LockBase):
     no-op lock macro.
     """
 
+    __slots__ = ()
+
     is_null = True
 
     def __init__(self, name: str = "null") -> None:
@@ -109,6 +131,8 @@ class SpinLock(_LockBase):
     :attr:`release_ns` (35 ns each by default — a 70 ns cycle) and makes
     contending threads spin in place.
     """
+
+    __slots__ = ()
 
     def __init__(
         self,
@@ -179,6 +203,8 @@ class Semaphore:
     outside a simulated thread (e.g. straight from a NIC delivery event).
     """
 
+    __slots__ = ("machine", "value", "name", "waiters")
+
     def __init__(self, machine: Machine, value: int = 0, name: str = "sem") -> None:
         if value < 0:
             raise ValueError(f"semaphore value must be >= 0, got {value}")
@@ -233,6 +259,8 @@ class Condition:
     the classic monitor protocol.
     """
 
+    __slots__ = ("machine", "lock", "name", "waiters")
+
     def __init__(self, machine: Machine, lock: _LockBase, name: str = "cond") -> None:
         self.machine = machine
         self.lock = lock
@@ -269,6 +297,17 @@ class Completion:
     ``fire_core=None`` means "fired from outside any core" (e.g. test
     drivers); visibility is then immediate.
     """
+
+    __slots__ = (
+        "machine",
+        "name",
+        "fired",
+        "value",
+        "fire_time",
+        "fire_core",
+        "waiters",
+        "_transfer_seen",
+    )
 
     def __init__(self, machine: Machine, name: str = "completion") -> None:
         self.machine = machine

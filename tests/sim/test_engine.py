@@ -145,6 +145,99 @@ class TestRun:
         assert seen == [1, 2]
 
 
+class TestLimitConsistency:
+    """Tripped safety limits must leave the queue consistent: the event
+    that would have crossed the limit stays queued, so a caught limit can
+    be followed by a resumed run."""
+
+    def test_max_time_leaves_event_queued(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(100, seen.append, "late")
+        with pytest.raises(SimTimeLimit):
+            eng.run(max_time=50)
+        # the offending event was not consumed and the clock did not jump
+        assert seen == []
+        assert eng.pending() == 1
+        assert eng.now <= 50
+        eng.run()  # resumed run with no limit executes it
+        assert seen == ["late"]
+        assert eng.now == 100
+
+    def test_max_time_ignores_cancelled_events_beyond_limit(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(10, seen.append, "early")
+        h = eng.schedule(100, seen.append, "cancelled")
+        h.cancel()
+        assert eng.run(max_time=50) == "drained"
+        assert seen == ["early"]
+
+    def test_max_events_leaves_event_queued(self):
+        eng = Engine()
+        seen = []
+        for i in range(5):
+            eng.schedule(i + 1, seen.append, i)
+        with pytest.raises(SimTimeLimit):
+            eng.run(max_events=3)
+        assert seen == [0, 1, 2]
+        assert eng.pending() == 2
+        eng.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestPendingCounter:
+    def test_pending_tracks_schedule_cancel_run(self):
+        eng = Engine()
+        handles = [eng.schedule(i + 1, lambda: None) for i in range(10)]
+        assert eng.pending() == 10
+        handles[3].cancel()
+        assert eng.pending() == 9
+        eng.run()
+        assert eng.pending() == 0
+
+    def test_pending_counts_fire_and_forget(self):
+        eng = Engine()
+        eng.call_after(5, lambda: None)
+        eng.call_after(0, lambda: None)
+        assert eng.pending() == 2
+        eng.run()
+        assert eng.pending() == 0
+
+
+class TestSameTimeOrdering:
+    def test_delay_zero_runs_after_same_time_heap_events(self):
+        # an event at t that schedules a delay-0 child must see every
+        # *earlier-scheduled* event at t run before the child (global
+        # insertion order), even though the child bypasses the heap
+        eng = Engine()
+        seen = []
+
+        def first():
+            seen.append("first")
+            eng.schedule(0, seen.append, "child")
+
+        eng.schedule(5, first)
+        eng.schedule(5, seen.append, "second")
+        eng.run()
+        assert seen == ["first", "second", "child"]
+
+    def test_delay_zero_chains_preserve_fifo(self):
+        eng = Engine()
+        seen = []
+
+        def spawn(tag, depth):
+            seen.append(tag)
+            if depth:
+                eng.schedule(0, spawn, f"{tag}.{depth}", depth - 1)
+
+        eng.schedule(1, spawn, "a", 2)
+        eng.schedule(1, spawn, "b", 2)
+        eng.run()
+        assert seen == ["a", "b", "a.2", "b.2", "a.2.1", "b.2.1"]
+        assert eng.now == 1
+
+
 class TestClockMonotonicity:
     @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
     def test_observed_times_nondecreasing(self, delays):
