@@ -6,7 +6,9 @@ Two numbers matter for the perf trajectory:
   storm with no scheduler on top) and the same number through the full
   NewMadeleine/Marcel stack (a pingpong workload);
 * **full-suite wall-clock** — the time to regenerate every figure with
-  ``--quick``, i.e. what a contributor actually waits for.
+  ``--quick``, measured cold (fresh point cache, every point simulated)
+  *and* warm (every point replayed from :mod:`repro.bench.cache`) —
+  i.e. what a contributor actually waits for, first run and re-run.
 
 Both are written to ``BENCH_engine.json`` at the repository root so
 successive PRs can diff them — together with a per-layer attribution of
@@ -19,7 +21,10 @@ or via pytest-benchmark (``pytest benchmarks/bench_engine_throughput.py``).
 ``--quick`` runs the CI smoke mode instead: a fast stack-pingpong
 measurement gated against the committed report (fails on a regression
 beyond ``REPRO_BENCH_REGRESSION_PCT`` percent, default 20) plus a
-``bench_profile_layers.json`` artifact.
+``bench_profile_layers.json`` artifact.  ``--cache-smoke`` runs the
+cold→warm double pass of the quick suite against a fresh cache and fails
+unless the warm pass fully replayed (stats land in
+``cache_smoke.json``).
 """
 
 from __future__ import annotations
@@ -133,8 +138,8 @@ def tracing_overhead(*, best_of: int = 3, baseline: float | None = None) -> dict
     return out
 
 
-def full_suite_wall_clock() -> dict:
-    """Wall-clock seconds to regenerate every figure with ``--quick``."""
+def _suite_pass() -> tuple[float, dict[str, float]]:
+    """One full ``--quick`` figure pass; returns (total_s, per-figure)."""
     import contextlib
     import io
 
@@ -145,9 +150,57 @@ def full_suite_wall_clock() -> dict:
         with contextlib.redirect_stdout(io.StringIO()):
             figures.render(name, quick=True)
         per_figure[name] = round(time.perf_counter() - t0, 3)
+    return round(time.perf_counter() - t_total, 3), per_figure
+
+
+def full_suite_wall_clock() -> dict:
+    """Cold → warm wall-clock of the ``--quick`` figure suite.
+
+    The cold pass runs against a fresh temporary cache directory (every
+    sweep point simulated, then stored); the warm pass repeats the
+    identical suite against the now-populated cache, so its time is what
+    a contributor pays when re-running an unchanged tree.  ``total_s``
+    stays the cold time for cross-PR continuity; the cache block records
+    the hit/miss counters of both passes.
+    """
+    import tempfile
+
+    from repro.bench import cache as point_cache
+
+    saved = {
+        var: os.environ.get(var)
+        for var in (point_cache.CACHE_DIR_ENV, point_cache.CACHE_ENV)
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ[point_cache.CACHE_DIR_ENV] = tmp
+        os.environ[point_cache.CACHE_ENV] = "1"
+        try:
+            before = point_cache.stats()
+            cold_s, per_figure = _suite_pass()
+            mid = point_cache.stats()
+            warm_s, _ = _suite_pass()
+            after = point_cache.stats()
+        finally:
+            for var, value in saved.items():
+                if value is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = value
+    cold = mid.delta(before)
+    warm = after.delta(mid)
     return {
-        "total_s": round(time.perf_counter() - t_total, 3),
+        "total_s": cold_s,
         "per_figure_s": per_figure,
+        "suite_cold_s": cold_s,
+        "suite_warm_s": warm_s,
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s else None,
+        "cache": {
+            "cold_hits": cold.hits,
+            "cold_misses": cold.misses,
+            "warm_hits": warm.hits,
+            "warm_misses": warm.misses,
+            "warm_hit_ratio": round(warm.hit_ratio(), 4),
+        },
     }
 
 
@@ -202,6 +255,32 @@ def quick_smoke(*, profile_out: Path | None = None, best_of: int = 3) -> dict:
     return result
 
 
+def cache_smoke(*, stats_out: Path | None = None) -> dict:
+    """CI smoke for the incremental sweep cache: run the quick suite
+    cold → warm against a fresh cache and check the warm pass replayed.
+
+    Fails (``ok: false``) when the warm pass recorded zero hits or any
+    miss — every sweep-backed point of an unchanged tree must replay.
+    The wall-clock speedup is recorded but not gated (shared CI runners
+    are too noisy for a timing assertion).
+    """
+    suite = full_suite_wall_clock()
+    cache = suite["cache"]
+    result = {
+        "suite_cold_s": suite["suite_cold_s"],
+        "suite_warm_s": suite["suite_warm_s"],
+        "warm_speedup": suite["warm_speedup"],
+        "cache": cache,
+        "ok": cache["warm_hits"] > 0 and cache["warm_misses"] == 0,
+    }
+    if stats_out is not None:
+        stats_out.write_text(
+            json.dumps(result, indent=2) + "\n", encoding="utf-8"
+        )
+        result["stats_artifact"] = str(stats_out)
+    return result
+
+
 def collect(*, best_of: int = 3) -> dict:
     """Measure everything; events/sec numbers take the best of ``best_of``
     runs (the max is the least noisy statistic for a throughput)."""
@@ -242,7 +321,20 @@ def test_engine_throughput(benchmark):
 
 
 if __name__ == "__main__":
-    if "--quick" in sys.argv:
+    if "--cache-smoke" in sys.argv:
+        # CI cache smoke: cold→warm double run of the quick suite against
+        # a fresh cache; fails unless the warm pass fully replayed
+        smoke = cache_smoke(stats_out=Path("cache_smoke.json"))
+        print(json.dumps(smoke, indent=2))
+        if not smoke["ok"]:
+            print(
+                "FAIL: warm suite pass did not replay from the cache "
+                f"(hits={smoke['cache']['warm_hits']}, "
+                f"misses={smoke['cache']['warm_misses']})",
+                file=sys.stderr,
+            )
+            sys.exit(1)
+    elif "--quick" in sys.argv:
         # CI smoke mode: throughput gate + per-layer profile artifact,
         # no report rewrite (BENCH_engine.json stays the committed baseline)
         artifact = Path("bench_profile_layers.json")

@@ -34,6 +34,9 @@ class BenchConfig:
     max_time_ns: int = 20_000_000_000
     #: worker processes for the sweep (None = REPRO_BENCH_WORKERS, else 1)
     workers: int | None = None
+    #: incremental point cache (None = REPRO_BENCH_CACHE, default on);
+    #: execution-only, never part of a point's cache key
+    cache: bool | None = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -58,3 +61,7 @@ class BenchConfig:
     def with_workers(self, workers: int | None) -> "BenchConfig":
         """Copy with a different sweep worker count."""
         return dataclasses.replace(self, workers=workers)
+
+    def with_cache(self, cache: bool | None) -> "BenchConfig":
+        """Copy with the incremental point cache forced on/off."""
+        return dataclasses.replace(self, cache=cache)

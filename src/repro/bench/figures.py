@@ -37,7 +37,10 @@ SWEEP_JITTER_NS = 150
 
 
 def _cfg(
-    quick: bool, sizes=PAPER_SIZES, workers: int | None = None
+    quick: bool,
+    sizes=PAPER_SIZES,
+    workers: int | None = None,
+    cache: bool | None = None,
 ) -> BenchConfig:
     if quick:
         return BenchConfig(
@@ -46,16 +49,19 @@ def _cfg(
             sizes=tuple(sizes[::3]) or sizes[:1],
             jitter_ns=SWEEP_JITTER_NS,
             workers=workers,
+            cache=cache,
         )
     return BenchConfig(
         iterations=48, warmup=4, sizes=sizes, jitter_ns=SWEEP_JITTER_NS,
-        workers=workers,
+        workers=workers, cache=cache,
     )
 
 
-def fig3(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def fig3(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """Figure 3: impact of locking on latency."""
-    results = locking.run_fig3(_cfg(quick, workers=workers))
+    results = locking.run_fig3(_cfg(quick, workers=workers, cache=cache))
     offsets = locking.fig3_offsets(results)
     coarse_fit = constant_offset(results.series("none"), results.series("coarse"))
     checks = [
@@ -66,7 +72,9 @@ def fig3(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     return results, checks
 
 
-def fig5(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def fig5(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """Figure 5: concurrent pingpongs.
 
     The paper's claims are evaluated at the node's saturation flow count
@@ -74,7 +82,7 @@ def fig5(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     MX path has about twice the message capacity of the 2009 stack, so the
     two-thread saturation of the paper appears at four flows here.
     """
-    results = locking.run_fig5(_cfg(quick, workers=workers))
+    results = locking.run_fig5(_cfg(quick, workers=workers, cache=cache))
     ratios = locking.fig5_ratios(results)
     sat = locking.FIG5_SATURATION_FLOWS
 
@@ -91,17 +99,21 @@ def fig5(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     return results, checks
 
 
-def fig6(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def fig6(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """Figure 6: impact of PIOMan on latency."""
-    results = waiting.run_fig6(_cfg(quick, workers=workers))
+    results = waiting.run_fig6(_cfg(quick, workers=workers, cache=cache))
     fit = constant_offset(results.series("fine"), results.series("pioman (fine)"))
     checks = [(claim("fig6-pioman-offset"), fit.offset_ns * 1_000)]
     return results, checks
 
 
-def fig7(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def fig7(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """Figure 7: impact of semaphores (passive waiting) on latency."""
-    results = waiting.run_fig7(_cfg(quick, workers=workers))
+    results = waiting.run_fig7(_cfg(quick, workers=workers, cache=cache))
     fit = constant_offset(
         results.series("active (fine)"), results.series("passive (fine)")
     )
@@ -109,9 +121,11 @@ def fig7(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     return results, checks
 
 
-def fig8(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def fig8(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """Figure 8: impact of cache affinity on a quad-core chip."""
-    results = affinity.run_fig8(_cfg(quick, workers=workers))
+    results = affinity.run_fig8(_cfg(quick, workers=workers, cache=cache))
     deltas = affinity.affinity_deltas(results)
     far = (deltas["polling on cpu 2"] + deltas["polling on cpu 3"]) / 2
     checks = [
@@ -121,9 +135,11 @@ def fig8(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     return results, checks
 
 
-def fig8b(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def fig8b(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """§4.1 in-text: cache affinity on the dual quad-core node."""
-    results = affinity.run_fig8b(_cfg(quick, workers=workers))
+    results = affinity.run_fig8b(_cfg(quick, workers=workers, cache=cache))
     deltas = affinity.affinity_deltas(results)
     checks = [
         (claim("fig8b-shared-l2"), deltas["polling on cpu 1"]),
@@ -133,9 +149,11 @@ def fig8b(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     return results, checks
 
 
-def fig9(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def fig9(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """Figure 9: impact of tasklets on deferred message submission."""
-    cfg = _cfg(quick, sizes=OVERLAP_SIZES, workers=workers)
+    cfg = _cfg(quick, sizes=OVERLAP_SIZES, workers=workers, cache=cache)
     results = overlap.run_fig9(cfg)
     ref = results.series("reference")
     tasklet_fit = constant_offset(ref, results.series("tasklets"))
@@ -147,7 +165,9 @@ def fig9(quick: bool = False, *, workers: int | None = None) -> FigureResult:
     return results, checks
 
 
-def text_lockcost(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def text_lockcost(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """§3.1 text: the 70 ns spinlock cycle and per-message lock counts."""
     cycles = 100 if quick else 1_000
     cycle_ns = lockcost.measure_spin_cycle_ns(cycles)
@@ -165,7 +185,9 @@ def text_lockcost(quick: bool = False, *, workers: int | None = None) -> FigureR
     return results, checks
 
 
-def text_dedicated_core(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def text_dedicated_core(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """§3.3 text: dedicating 1 of 4 cores costs up to 25 % of compute."""
     duration = 500_000 if quick else 2_000_000
     loss = affinity.dedicated_core_loss(duration_ns=duration)
@@ -177,7 +199,9 @@ def text_dedicated_core(quick: bool = False, *, workers: int | None = None) -> F
     return results, checks
 
 
-def text_fixed_spin(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def text_fixed_spin(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """§3.3 text: the fixed-spin algorithm avoids switches for fast events."""
     iters = 6 if quick else 12
     results = waiting.run_fixed_spin_sweep(iterations=iters)
@@ -192,7 +216,9 @@ def text_fixed_spin(quick: bool = False, *, workers: int | None = None) -> Figur
     return results, checks
 
 
-def decompose(quick: bool = False, *, workers: int | None = None) -> FigureResult:
+def decompose(
+    quick: bool = False, *, workers: int | None = None, cache: bool | None = None
+) -> FigureResult:
     """Extension: one-way latency decomposition per policy (§1's method:
     'decomposing each step of thread support')."""
     from repro.analysis.decompose import decompose_message
@@ -249,31 +275,45 @@ def render(
     *,
     quick: bool = False,
     workers: int | None = None,
+    cache: bool | None = None,
     trace: str | None = None,
     metrics: bool = False,
 ) -> str:
     """Measure and print one artefact; returns the report text.
 
     Args:
+        cache: force the incremental point cache on/off (``None`` defers
+            to ``REPRO_BENCH_CACHE``, default on); the footnote records
+            how many points were replayed vs. computed.
         trace: path of a Chrome trace-event JSON to export (open it at
             ui.perfetto.dev); covers every testbed the figure builds,
             including points measured on worker processes.
         metrics: also print the observability report (lock contention,
             core utilization, PIOMan counters, overhead decomposition).
     """
+    from repro.bench import cache as point_cache
+    from repro.bench import parallel
+    from repro.bench.report import provenance_note
+
     try:
         fn = FIGURES[name]
     except KeyError:
         raise KeyError(f"unknown figure {name!r}; known: {sorted(FIGURES)}") from None
+    cache_before = point_cache.stats()
+    pool_before = parallel.pool_stats()
     if trace is None and not metrics:
-        results, checks = fn(quick, workers=workers)
+        results, checks = fn(quick, workers=workers, cache=cache)
         observation = None
     else:
         from repro.obs import capture as obs_capture
 
         with obs_capture.observe(trace=trace is not None) as observation:
-            results, checks = fn(quick, workers=workers)
-    note = f"sweep: {workers} worker processes" if workers and workers > 1 else None
+            results, checks = fn(quick, workers=workers, cache=cache)
+    note = provenance_note(
+        workers=workers,
+        cache_delta=point_cache.stats().delta(cache_before),
+        pool_delta=parallel.pool_stats_delta(pool_before),
+    )
     text = print_figure(results, title=TITLES[name], checks=checks, note=note)
     if observation is not None:
         extra_parts = []
@@ -304,6 +344,13 @@ def main(argv: list[str] | None = None) -> int:
         "results are identical to a sequential run",
     )
     parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental point cache (results/.cache/): "
+        "measure every sweep point even when an identical point is "
+        "already stored; equivalent to REPRO_BENCH_CACHE=0",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -325,6 +372,7 @@ def main(argv: list[str] | None = None) -> int:
             stem, dot, ext = trace.rpartition(".")
             trace = f"{stem}-{name}.{ext}" if dot else f"{trace}-{name}"
         render(name, quick=args.quick, workers=args.workers,
+               cache=False if args.no_cache else None,
                trace=trace, metrics=args.metrics)
         print()
     return 0

@@ -1,21 +1,59 @@
-"""Parameter sweeps: turn per-point measurement functions into ResultSets."""
+"""Parameter sweeps: turn per-point measurement functions into ResultSets.
+
+:func:`run_sweep` is the single funnel every figure and workload sweep
+goes through, and therefore where the two pipeline optimisations meet:
+
+* the **incremental point cache** (:mod:`repro.bench.cache`): each
+  (config, size) point is fingerprinted and looked up before anything is
+  simulated — warm points replay their stored latency (and observation
+  blob), only cold points are measured, and fresh measurements are stored
+  back;
+* the **persistent worker pool** (:mod:`repro.bench.parallel`): the cold
+  points fan out over a process pool shared across every sweep of the
+  suite run, scheduled dynamically so skewed grids load-balance.
+
+Both are pure wall-clock optimisations: the returned ResultSet has the
+same records in the same order with the same JSON serialization whether
+points were computed or replayed, sequentially or on any worker count.
+"""
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Callable, Mapping
 
+from repro.bench import cache as point_cache
 from repro.bench.config import BenchConfig
 from repro.bench.parallel import (
     points_picklable,
     resolve_workers,
-    run_points_parallel,
+    run_tasks,
 )
 from repro.obs import capture as obs_capture
 from repro.util.records import ResultRecord, ResultSet
 
 #: measures one (config, size) point; returns latency in microseconds
 PointFn = Callable[[int], float]
+
+#: sweeps already warned about the sequential fallback (one warning per
+#: experiment per process, not one per point)
+_warned_fallback: set[str] = set()
+
+
+def _warn_sequential_fallback(experiment: str) -> None:
+    """One-time warning: ``workers > 1`` requested but the sweep's point
+    functions cannot cross a process boundary."""
+    if experiment in _warned_fallback:
+        return
+    _warned_fallback.add(experiment)
+    warnings.warn(
+        f"sweep {experiment!r}: point functions are not picklable "
+        f"(closures/lambdas), so --workers has no effect here; running "
+        f"sequentially in-process",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _check_latency(name: str, size: int, latency_us: float) -> None:
@@ -46,64 +84,143 @@ def run_sweep(
 
     Each point builds its own fresh testbed inside ``PointFn`` — points are
     fully independent, like separate benchmark runs on the paper's cluster —
-    which is what makes the grid embarrassingly parallel.
+    which is what makes the grid embarrassingly parallel *and* cacheable.
 
     Args:
         workers: worker processes for the grid.  Defaults to
             ``cfg.workers``, then the ``REPRO_BENCH_WORKERS`` environment
             variable, then 1 (fully sequential, in-process).  Any
             ``workers > 1`` sweep whose point functions cannot be pickled
-            (lambdas, closures) silently falls back to the sequential
-            path; either way the returned ResultSet has the same records
-            in the same order with the same JSON serialization.
+            (lambdas, closures) falls back to the sequential path with a
+            one-time warning; either way the returned ResultSet has the
+            same records in the same order with the same JSON
+            serialization.
+
+    Caching: with the incremental cache enabled (``cfg.cache``, the
+    ``REPRO_BENCH_CACHE`` environment variable, default on), every
+    fingerprintable point is looked up before measuring and stored after;
+    a warm re-run replays the whole grid without building a single
+    testbed.  When an observation is active, cached entries must carry
+    the point's capture blob (recorded under the same observation spec)
+    or they are treated as misses — replayed traces are byte-identical
+    to recomputed ones.
     """
     if not configs:
         raise ValueError("run_sweep needs at least one config")
     nworkers = resolve_workers(cfg.workers if workers is None else workers)
     observation = obs_capture.active()
-    results = ResultSet()
-    if nworkers > 1 and len(cfg.sizes) * len(configs) > 1 and points_picklable(
-        configs, extra
-    ):
-        spec = (
-            (observation.trace, observation.max_events)
-            if observation is not None
-            else None
+    spec = (
+        (observation.trace, observation.max_events)
+        if observation is not None
+        else None
+    )
+    obs_key = ("obs", *spec) if spec is not None else None
+
+    points = [
+        (name, fn, size)
+        for name, fn in configs.items()
+        for size in cfg.sizes
+    ]
+    picklable = points_picklable(configs, extra)
+    if nworkers > 1 and len(points) > 1 and not picklable:
+        _warn_sequential_fallback(experiment)
+
+    store = (
+        point_cache.PointCache() if point_cache.enabled(cfg.cache) else None
+    )
+    keys: list[str | None] = [None] * len(points)
+    latencies: list[float | None] = [None] * len(points)
+    blobs: list[dict | None] = [None] * len(points)
+
+    if store is not None:
+        for i, (name, fn, size) in enumerate(points):
+            keys[i] = point_cache.point_key(
+                fn,
+                experiment=experiment,
+                config=name,
+                size=size,
+                cfg=cfg,
+                obs_spec=obs_key,
+            )
+            if keys[i] is None:
+                continue
+            entry = store.get(keys[i], need_capture=observation is not None)
+            if entry is None:
+                continue
+            latencies[i] = float(entry["latency_us"])
+            blobs[i] = entry.get("capture")
+
+    miss_idx = [i for i, v in enumerate(latencies) if v is None]
+
+    def remember(i: int, latency_us: float, blob: dict | None) -> None:
+        name, _fn, size = points[i]
+        _check_latency(name, size, latency_us)
+        latencies[i] = latency_us
+        blobs[i] = blob
+        if store is not None and keys[i] is not None:
+            store.put(
+                keys[i],
+                latency_us=latency_us,
+                capture=blob,
+                meta={
+                    "experiment": experiment,
+                    "config": name,
+                    "size": size,
+                    "seed": cfg.seed,
+                    "observed": blob is not None,
+                },
+            )
+
+    # absorbed mode: every point's capture travels as a serialized blob
+    # (worker-side or nested observation), merged in sweep order below —
+    # the representation the cache stores and replays.  Without cache and
+    # without workers, live registration (set_label) is kept as-is.
+    absorbed = observation is not None and (
+        store is not None or (nworkers > 1 and picklable)
+    )
+
+    if miss_idx and nworkers > 1 and len(miss_idx) > 1 and picklable:
+        outcomes = run_tasks(
+            [points[i] for i in miss_idx], nworkers, capture=spec
         )
-        for row in run_points_parallel(
-            configs, cfg.sizes, nworkers, capture=spec
-        ):
-            name, size, latency_us = row[0], row[1], row[2]
-            _check_latency(name, size, latency_us)
-            if observation is not None:
-                # worker-side snapshots, absorbed in sequential sweep order
-                # so merged traces are deterministic
-                observation.absorb(
-                    row[3], label=f"{experiment}/{name}/{size}"
-                )
-            results.add(
-                ResultRecord(
-                    experiment=experiment,
-                    config=name,
-                    size=size,
-                    latency_us=latency_us,
-                    extra=extra(name, size) if extra else {},
-                )
-            )
-        return results
-    for name, fn in configs.items():
-        for size in cfg.sizes:
-            if observation is not None:
+        for i, outcome in zip(miss_idx, outcomes):
+            if spec is None:
+                remember(i, outcome, None)
+            else:
+                latency_us, blob = outcome
+                remember(i, latency_us, blob)
+    else:
+        for i in miss_idx:
+            name, fn, size = points[i]
+            if observation is not None and absorbed:
+                # run under a nested observation so this point's capture
+                # serializes exactly like a worker's would — and can
+                # round-trip through the cache
+                with obs_capture.observe(
+                    trace=observation.trace, max_events=observation.max_events
+                ) as inner:
+                    latency_us = fn(size)
+                remember(i, latency_us, inner.serialize())
+            elif observation is not None:
                 observation.set_label(f"{experiment}/{name}/{size}")
-            latency_us = fn(size)
-            _check_latency(name, size, latency_us)
-            results.add(
-                ResultRecord(
-                    experiment=experiment,
-                    config=name,
-                    size=size,
-                    latency_us=latency_us,
-                    extra=extra(name, size) if extra else {},
-                )
+                remember(i, fn(size), None)
+            else:
+                remember(i, fn(size), None)
+
+    results = ResultSet()
+    for i, (name, fn, size) in enumerate(points):
+        if absorbed and blobs[i] is not None:
+            # sweep order, whether the blob was replayed or just measured
+            observation.absorb(blobs[i], label=f"{experiment}/{name}/{size}")
+        results.add(
+            ResultRecord(
+                experiment=experiment,
+                config=name,
+                size=size,
+                latency_us=latencies[i],
+                extra=extra(name, size) if extra else {},
             )
+        )
+    if store is not None:
+        store.flush_index()
     return results

@@ -97,8 +97,24 @@ class Observation:
         self._live.append((self.label, bed))
 
     def absorb(self, data: dict, *, label: str | None = None) -> None:
-        """Merge a worker's :meth:`serialize` output (relabelled per point)."""
+        """Merge a worker's :meth:`serialize` output (relabelled per point).
+
+        Blobs also round-trip through the incremental sweep cache
+        (:mod:`repro.bench.cache`): a replayed point absorbs the very
+        blob its cold run serialized.  Malformed blobs — e.g. a cache
+        entry corrupted on disk — raise :class:`ValueError` instead of
+        being merged silently, so a broken capture can never masquerade
+        as an empty one.
+        """
+        if not isinstance(data, dict) or not isinstance(
+            data.get("captures", []), (list, tuple)
+        ):
+            raise ValueError(
+                f"malformed observation blob: {type(data).__name__}"
+            )
         for cap in data.get("captures", ()):
+            if not isinstance(cap, dict) or "machines" not in cap:
+                raise ValueError("malformed capture snapshot in blob")
             if label is not None:
                 cap = {**cap, "label": label}
             self._order.append(("snap", len(self._snapshots)))

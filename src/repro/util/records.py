@@ -196,6 +196,14 @@ class ResultSet:
     def to_json(self) -> str:
         return json.dumps([r.to_dict() for r in self._records], indent=2)
 
+    def digest(self) -> str:
+        """SHA-256 hex digest of :meth:`to_json` — the byte-identity token
+        the golden determinism tests and the incremental sweep cache's
+        warm-vs-cold checks compare."""
+        import hashlib
+
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
         data = json.loads(text)

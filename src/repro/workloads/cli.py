@@ -34,12 +34,14 @@ def run_scenarios(
     seed: int = 0,
     workers: int | None = None,
     grid: str = "standard",
+    cache: bool | None = None,
 ) -> dict[str, ResultSet]:
     """Measure the named scenarios; returns {name: ResultSet} in call
     order."""
     return {
         name: run_scenario(
-            name, quick=quick, seed=seed, workers=workers, grid=grid
+            name, quick=quick, seed=seed, workers=workers, grid=grid,
+            cache=cache,
         )
         for name in names
     }
@@ -99,6 +101,12 @@ def main(argv: list[str] | None = None) -> int:
         "locking x waiting x progression combination)",
     )
     parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental point cache (results/.cache/); "
+        "equivalent to REPRO_BENCH_CACHE=0",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -134,6 +142,13 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         registry.get(name)  # fail fast on typos, before any measuring
 
+    from repro.bench import cache as point_cache
+    from repro.bench import parallel
+    from repro.bench.report import provenance_note
+
+    cache = False if args.no_cache else None
+    cache_before = point_cache.stats()
+    pool_before = parallel.pool_stats()
     observation = None
     if args.trace is not None or args.metrics:
         from repro.obs import capture as obs_capture
@@ -141,18 +156,23 @@ def main(argv: list[str] | None = None) -> int:
         with obs_capture.observe(trace=args.trace is not None) as observation:
             results_by_scenario = run_scenarios(
                 names, quick=args.quick, seed=args.seed,
-                workers=args.workers, grid=args.grid,
+                workers=args.workers, grid=args.grid, cache=cache,
             )
     else:
         results_by_scenario = run_scenarios(
             names, quick=args.quick, seed=args.seed,
-            workers=args.workers, grid=args.grid,
+            workers=args.workers, grid=args.grid, cache=cache,
         )
 
     report = mechanism_matrix(results_by_scenario)
     print(report)
-    if args.workers and args.workers > 1:
-        print(f"\n(sweeps ran on {args.workers} worker processes)")
+    note = provenance_note(
+        workers=args.workers,
+        cache_delta=point_cache.stats().delta(cache_before),
+        pool_delta=parallel.pool_stats_delta(pool_before),
+    )
+    if note:
+        print(f"\n({note})")
 
     if observation is not None:
         extra_parts = []

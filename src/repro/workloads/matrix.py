@@ -45,10 +45,12 @@ def run_scenario(
     seed: int = 0,
     workers: int | None = None,
     grid: str = "standard",
+    cache: bool | None = None,
 ) -> ResultSet:
     """Measure ``name`` across the mechanism grid; deterministic for a
     given seed (two runs serialize to byte-identical JSON, any worker
-    count included)."""
+    count included — and whether points were computed or replayed from
+    the incremental cache)."""
     sc = get(name)
     mechs = mechanism_grid(grid)
     configs = {
@@ -62,6 +64,7 @@ def run_scenario(
         sizes=sc.sweep_sizes(quick),
         seed=seed,
         workers=workers,
+        cache=cache,
     )
     return run_sweep(
         f"workload-{name}", configs, cfg, extra=partial(_extra, sc.axis)

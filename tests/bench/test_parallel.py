@@ -6,16 +6,22 @@ the sequential sweep — parallelism is pure wall-clock optimisation.
 """
 
 import math
+import time
+import warnings
 from functools import partial
 
 import pytest
 
-from repro.bench import locking, waiting
+from repro.bench import locking, parallel, waiting
 from repro.bench.config import BenchConfig
 from repro.bench.parallel import (
     WORKERS_ENV,
+    compute_chunksize,
+    get_pool,
     points_picklable,
     resolve_workers,
+    run_tasks,
+    shutdown_pool,
 )
 from repro.bench.runner import run_sweep
 from repro.util.records import ResultRecord, ResultSet
@@ -73,6 +79,123 @@ class TestPicklability:
         assert not points_picklable(configs, extra=lambda n, s: {})
 
 
+def _sleep_ms_point(size: int) -> float:
+    """Module-level point whose cost is its size in milliseconds — the
+    synthetic skewed grid of the chunking regression test."""
+    time.sleep(size / 1000.0)
+    return float(size)
+
+
+class TestComputeChunksize:
+    def test_small_grids_dispatch_point_by_point(self):
+        assert compute_chunksize([8] * 6, 4) == 1
+        assert compute_chunksize([], 4) == 1
+
+    def test_uniform_grid_batches(self):
+        # 64 uniform points on 2 workers: 64 // (2*4) = 8 per chunk
+        assert compute_chunksize([1024] * 64, 2) == 8
+
+    def test_skewed_grid_forces_single_point_chunks(self):
+        """One huge point among many small ones (fig8b's shape) must
+        never ride in a batch behind cheap points."""
+        weights = [32768] + [8] * 63
+        assert compute_chunksize(weights, 2) == 1
+
+    def test_zero_weights_still_batch(self):
+        assert compute_chunksize([0] * 64, 2) == 8
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_calls(self):
+        shutdown_pool()
+        before = parallel.pool_stats()
+        pool_a = get_pool(2)
+        pool_b = get_pool(2)
+        delta = parallel.pool_stats_delta(before)
+        assert pool_a is pool_b
+        assert delta["created"] == 1 and delta["reused"] == 1
+
+    def test_worker_count_change_recreates(self):
+        shutdown_pool()
+        pool_a = get_pool(2)
+        pool_b = get_pool(3)
+        assert pool_a is not pool_b
+        shutdown_pool()
+
+    def test_shutdown_is_idempotent(self):
+        shutdown_pool()
+        shutdown_pool()
+
+    def test_run_tasks_positional_reassembly(self):
+        tasks = [
+            ("a", partial(_linear_point, 2.0), size) for size in (1, 2, 4, 8)
+        ]
+        outcomes = run_tasks(tasks, 2)
+        assert outcomes == [3.0, 5.0, 9.0, 17.0]
+
+    def test_sweeps_share_one_pool(self):
+        """Two consecutive parallel sweeps must reuse the same pool —
+        the suite-level spawn amortisation the pipeline relies on."""
+        shutdown_pool()
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2, 4))
+        configs = {"a": partial(_linear_point, 1.0)}
+        before = parallel.pool_stats()
+        run_sweep("exp-one", configs, cfg, workers=2)
+        run_sweep("exp-two", configs, cfg, workers=2)
+        delta = parallel.pool_stats_delta(before)
+        assert delta["created"] <= 1
+        assert delta["dispatched"] == 6
+
+    def test_skewed_grid_near_ideal_makespan(self):
+        """Regression for the static-chunksize bug: a skewed grid (one
+        long point + a tail of short ones) on 4 workers must finish
+        within ~1.2x of the ideal makespan, i.e. the long point must not
+        serialize short points behind it in a shared chunk."""
+        shutdown_pool()
+        weights = [200] + [15] * 15
+        tasks = [("skew", partial(_sleep_ms_point), w) for w in weights]
+        get_pool(4)  # spawn outside the timed region
+        t0 = time.perf_counter()
+        outcomes = run_tasks(tasks, 4)
+        elapsed = time.perf_counter() - t0
+        assert outcomes == [float(w) for w in weights]
+        ideal = max(max(weights), sum(weights) / 4) / 1000.0
+        # 1.2x ideal plus a flat IPC/startup allowance for slow CI boxes
+        assert elapsed < 1.2 * ideal + 0.25, (
+            f"skewed grid took {elapsed:.3f}s vs ideal {ideal:.3f}s"
+        )
+        shutdown_pool()
+
+
+class TestSequentialFallbackWarning:
+    def test_nonpicklable_with_workers_warns_naming_sweep(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2))
+        with pytest.warns(RuntimeWarning, match="'my-sweep'.*--workers"):
+            run_sweep("my-sweep", {"a": lambda s: 1.0}, cfg, workers=2)
+
+    def test_warning_is_one_time_per_sweep(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2))
+        with pytest.warns(RuntimeWarning):
+            run_sweep("once", {"a": lambda s: 1.0}, cfg, workers=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_sweep("once", {"a": lambda s: 1.0}, cfg, workers=2)
+
+    def test_sequential_run_does_not_warn(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_sweep("quiet", {"a": lambda s: 1.0}, cfg)
+
+    def test_picklable_parallel_does_not_warn(self):
+        cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_sweep(
+                "pickl", {"a": partial(_linear_point, 1.0)}, cfg, workers=2
+            )
+
+
 class TestRunSweepParallel:
     def test_parallel_matches_sequential_synthetic(self):
         cfg = BenchConfig(iterations=2, warmup=1, sizes=(1, 2, 4, 8))
@@ -93,7 +216,8 @@ class TestRunSweepParallel:
             calls.append(size)
             return float(size)
 
-        results = run_sweep("exp", {"a": closure_point}, cfg, workers=2)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            results = run_sweep("exp", {"a": closure_point}, cfg, workers=2)
         assert calls == [1, 2], "fallback must run in this very process"
         assert results.point("a", 2) == 2.0
 

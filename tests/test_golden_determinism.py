@@ -53,6 +53,28 @@ class TestFigureGolden:
         assert _sha256(result_set.to_json()) == FIG3_QUICK_SHA256
 
 
+class TestIncrementalCacheGolden:
+    """Acceptance: the golden hashes hold cold, warm, and at any worker
+    count *with the incremental point cache enabled* — replayed points
+    are byte-identical to computed ones."""
+
+    def test_fig3_quick_cold_warm_and_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", "1")
+        cold, _checks = FIGURES["fig3"](True)
+        assert cold.digest() == FIG3_QUICK_SHA256
+        for workers in (1, 4, 8):
+            warm, _checks = FIGURES["fig3"](True, workers=workers)
+            assert warm.digest() == FIG3_QUICK_SHA256, f"workers={workers}"
+
+    def test_stencil_quick_cold_warm_and_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_CACHE", "1")
+        cold = run_scenario("stencil", quick=True)
+        assert cold.digest() == STENCIL_QUICK_SHA256
+        for workers in (1, 4, 8):
+            warm = run_scenario("stencil", quick=True, workers=workers)
+            assert warm.digest() == STENCIL_QUICK_SHA256, f"workers={workers}"
+
+
 class TestWorkloadGolden:
     def test_stencil_quick_matches_snapshot(self):
         result_set = run_scenario("stencil", quick=True)
